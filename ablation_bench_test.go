@@ -1,0 +1,217 @@
+package sqlledger_test
+
+// Ablation benchmarks for the design decisions DESIGN.md calls out:
+// block size (§3.3.1 argues for large blocks), savepoint cost (§3.2.1
+// argues the O(log N) streaming-tree state makes savepoints cheap), and
+// the price of per-commit durability.
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"testing"
+	"time"
+
+	"sqlledger"
+)
+
+// BenchmarkBlockSize sweeps the ledger block size: small blocks close
+// constantly (more block-hash work and system-table writes per tx), large
+// blocks amortize it — the reason the paper uses 100K-transaction blocks.
+func BenchmarkBlockSize(b *testing.B) {
+	for _, size := range []uint32{1, 16, 1024, sqlledger.DefaultBlockSize} {
+		b.Run(fmt.Sprintf("block=%d", size), func(b *testing.B) {
+			db, err := sqlledger.Open(sqlledger.Options{
+				Dir: b.TempDir(), Name: "bench", BlockSize: size,
+				LockTimeout: 5 * time.Second,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			lt, err := db.CreateLedgerTable("t", fig8Schema(), sqlledger.Updateable)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := db.Begin("bench")
+				if err := tx.Insert(lt, fig8Row(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSavepoint measures savepoint creation inside a transaction
+// that has already hashed many row versions: the streaming Merkle state
+// is O(log N), so this must stay flat as the transaction grows.
+func BenchmarkSavepoint(b *testing.B) {
+	for _, preOps := range []int{0, 100, 10000} {
+		b.Run(fmt.Sprintf("preOps=%d", preOps), func(b *testing.B) {
+			db := benchDB(b)
+			lt, err := db.CreateLedgerTable("t", fig8Schema(), sqlledger.Updateable)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tx := db.Begin("bench")
+			for i := 0; i < preOps; i++ {
+				if err := tx.Insert(lt, fig8Row(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx.Savepoint()
+			}
+			b.StopTimer()
+			tx.Rollback()
+		})
+	}
+}
+
+// BenchmarkSavepointRollback measures rolling back a savepoint spanning a
+// few operations — the partial-rollback path §3.2.1 designs for.
+func BenchmarkSavepointRollback(b *testing.B) {
+	db := benchDB(b)
+	lt, err := db.CreateLedgerTable("t", fig8Schema(), sqlledger.Updateable)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx := db.Begin("bench")
+	for i := 0; i < 1000; i++ {
+		if err := tx.Insert(lt, fig8Row(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tx.Savepoint()
+		if err := tx.Insert(lt, fig8Row(int64(100000+i))); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.RollbackTo(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	tx.Rollback()
+}
+
+// BenchmarkVerificationParallelism shows the gain from per-table parallel
+// verification (§3.4.2 leans on SQL Server's parallel query execution).
+func BenchmarkVerificationParallelism(b *testing.B) {
+	db := benchDB(b)
+	// Eight tables, populated evenly.
+	var tables []*sqlledger.LedgerTable
+	for i := 0; i < 8; i++ {
+		lt, err := db.CreateLedgerTable(fmt.Sprintf("t%d", i), fig8Schema(), sqlledger.Updateable)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tables = append(tables, lt)
+	}
+	for i := 0; i < 2000; i++ {
+		tx := db.Begin("bench")
+		if err := tx.Insert(tables[i%8], fig8Row(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d, err := db.GenerateDigest()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := db.Verify([]sqlledger.Digest{d}, sqlledger.VerifyOptions{Parallelism: par})
+				if err != nil || !rep.Ok() {
+					b.Fatalf("verify: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDigestGeneration isolates digest generation itself (§2.2 says
+// it is cheap enough to run every second).
+func BenchmarkDigestGeneration(b *testing.B) {
+	db := benchDB(b)
+	lt, err := db.CreateLedgerTable("t", fig8Schema(), sqlledger.Updateable)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tx := db.Begin("bench")
+		if err := tx.Insert(lt, fig8Row(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.GenerateDigest(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReceipt measures receipt generation and offline verification.
+func BenchmarkReceipt(b *testing.B) {
+	db := benchDB(b)
+	lt, err := db.CreateLedgerTable("t", fig8Schema(), sqlledger.Updateable)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var txIDs []uint64
+	for i := 0; i < 500; i++ {
+		tx := db.Begin("bench")
+		if err := tx.Insert(lt, fig8Row(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+		txIDs = append(txIDs, tx.ID())
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := db.GenerateDigest(); err != nil {
+		b.Fatal(err)
+	}
+	pub, priv := receiptKeys(b)
+	b.Run("generate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.GenerateReceipt(txIDs[i%len(txIDs)], priv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	r, err := db.GenerateReceipt(txIDs[0], priv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := sqlledger.VerifyReceipt(r, pub); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func receiptKeys(b *testing.B) (ed25519.PublicKey, ed25519.PrivateKey) {
+	b.Helper()
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pub, priv
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"sqlledger"
+)
+
+func TestParseType(t *testing.T) {
+	good := map[string]sqlledger.TypeID{
+		"BIGINT": sqlledger.TypeBigInt, "bigint": sqlledger.TypeBigInt,
+		"INT": sqlledger.TypeInt, "SMALLINT": sqlledger.TypeSmallInt,
+		"TINYINT": sqlledger.TypeTinyInt, "BIT": sqlledger.TypeBit,
+		"FLOAT": sqlledger.TypeFloat, "VARCHAR": sqlledger.TypeVarChar,
+		"NVARCHAR": sqlledger.TypeNVarChar, "DATETIME": sqlledger.TypeDateTime,
+		"VARBINARY": sqlledger.TypeVarBinary,
+	}
+	for s, want := range good {
+		got, err := parseType(s)
+		if err != nil || got != want {
+			t.Errorf("parseType(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseType("BLOB"); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	col := func(typ sqlledger.TypeID) sqlledger.Column {
+		return sqlledger.Column{Name: "c", Type: typ, Nullable: true}
+	}
+	cases := []struct {
+		typ   sqlledger.TypeID
+		in    string
+		check func(sqlledger.Value) bool
+	}{
+		{sqlledger.TypeBigInt, "-42", func(v sqlledger.Value) bool { return v.Int() == -42 }},
+		{sqlledger.TypeInt, "7", func(v sqlledger.Value) bool { return v.Int() == 7 }},
+		{sqlledger.TypeBit, "true", func(v sqlledger.Value) bool { return v.Bool() }},
+		{sqlledger.TypeBit, "0", func(v sqlledger.Value) bool { return !v.Bool() }},
+		{sqlledger.TypeFloat, "2.5", func(v sqlledger.Value) bool { return v.Float() == 2.5 }},
+		{sqlledger.TypeNVarChar, "hello", func(v sqlledger.Value) bool { return v.Str == "hello" }},
+		{sqlledger.TypeVarBinary, "raw", func(v sqlledger.Value) bool { return string(v.Bytes) == "raw" }},
+		{sqlledger.TypeBigInt, "NULL", func(v sqlledger.Value) bool { return v.Null }},
+		{sqlledger.TypeDateTime, "2026-07-05T10:00:00Z",
+			func(v sqlledger.Value) bool { return v.Time().Equal(time.Date(2026, 7, 5, 10, 0, 0, 0, time.UTC)) }},
+	}
+	for i, c := range cases {
+		v, err := parseValue(col(c.typ), c.in)
+		if err != nil || !c.check(v) {
+			t.Errorf("case %d (%v %q): %v, %v", i, c.typ, c.in, v, err)
+		}
+	}
+	if _, err := parseValue(col(sqlledger.TypeBigInt), "not-a-number"); err == nil {
+		t.Error("bad integer accepted")
+	}
+	if _, err := parseValue(col(sqlledger.TypeDateTime), "yesterday"); err == nil {
+		t.Error("bad datetime accepted")
+	}
+}

@@ -1,0 +1,109 @@
+// Receipts: non-repudiation with transaction receipts (§5.1).
+//
+// A customer makes a large deposit and receives a signed receipt: the
+// transaction entry, a Merkle proof that it is part of its block, and the
+// bank's signature over the block root (one signature covers every
+// transaction in the block). Later the bank "loses" its ledger — yet the
+// customer can still prove, offline, that the deposit happened.
+//
+// Run with: go run ./examples/receipts
+package main
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"log"
+	"os"
+
+	"sqlledger"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sqlledger-receipts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// The bank publishes its receipt-signing public key.
+	bankPub, bankPriv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db, err := sqlledger.Open(sqlledger.Options{Dir: dir, Name: "bank"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	deposits, err := db.CreateLedgerTable("deposits", sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("id", sqlledger.TypeBigInt),
+		sqlledger.Col("customer", sqlledger.TypeNVarChar),
+		sqlledger.Col("amount", sqlledger.TypeBigInt),
+	}, "id"), sqlledger.AppendOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The big deposit, among ordinary traffic.
+	tx := db.Begin("teller")
+	if err := tx.Insert(deposits, sqlledger.Row{
+		sqlledger.BigInt(1), sqlledger.NVarChar("carol"), sqlledger.BigInt(1_000_000),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	depositTx := tx.ID()
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	for i := int64(2); i <= 10; i++ {
+		tx := db.Begin("teller")
+		if err := tx.Insert(deposits, sqlledger.Row{
+			sqlledger.BigInt(i), sqlledger.NVarChar("other"), sqlledger.BigInt(100),
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Close the block so receipts can be issued.
+	if _, err := db.GenerateDigest(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Carol asks for her receipt.
+	receipt, err := db.GenerateReceipt(depositTx, bankPriv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	receiptJSON := receipt.JSON()
+	fmt.Printf("carol's receipt: tx %d in block %d, %d proof hashes, %d bytes of JSON\n",
+		receipt.Entry.TxID, receipt.BlockID, len(receipt.Proof.Siblings), len(receiptJSON))
+
+	// Disaster: the bank's ledger is destroyed.
+	db.Close()
+	os.RemoveAll(dir)
+	fmt.Println("...the bank's ledger is destroyed...")
+
+	// Carol proves the deposit with nothing but the receipt and the
+	// bank's public key.
+	parsed, err := sqlledger.ParseReceipt(receiptJSON)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sqlledger.VerifyReceipt(parsed, bankPub); err != nil {
+		log.Fatalf("receipt rejected: %v", err)
+	}
+	fmt.Printf("receipt verifies offline: %s deposited by tx %d, principal %q — the bank cannot repudiate it\n",
+		"$1,000,000", parsed.Entry.TxID, parsed.Entry.User)
+
+	// A forged receipt (claiming ten times the amount via a different
+	// table root) does not verify.
+	forged := parsed
+	forged.Entry.User = "mallory"
+	if err := sqlledger.VerifyReceipt(forged, bankPub); err != nil {
+		fmt.Println("forged receipt rejected:", err)
+	}
+}

@@ -1,0 +1,3 @@
+module sqlledger
+
+go 1.22

@@ -1,0 +1,329 @@
+// Package btree implements an in-memory B+tree with []byte keys, used by
+// the engine for clustered table storage and nonclustered indexes. Keys
+// compare bytewise (the engine encodes keys with the order-preserving
+// encoding from internal/sqltypes). Leaves are linked for fast ordered
+// range scans.
+package btree
+
+import "bytes"
+
+const (
+	// degree is the maximum number of keys per node; nodes split when
+	// they would exceed it and merge/borrow when they fall below half.
+	degree = 64
+	minLen = degree / 2
+)
+
+// Tree is a B+tree mapping []byte keys to values of type V. The zero Tree
+// is not ready for use; call New.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	// keys holds the separator keys (interior) or entry keys (leaf).
+	keys [][]byte
+	// children is populated for interior nodes: len(children) == len(keys)+1.
+	children []*node[V]
+	// vals is populated for leaves, parallel to keys.
+	vals []V
+	// next links leaves in ascending key order.
+	next *node[V]
+	leaf bool
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	return &Tree[V]{root: &node[V]{leaf: true}}
+}
+
+// Len returns the number of entries.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Get returns the value for key.
+func (t *Tree[V]) Get(key []byte) (V, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i, found := search(n.keys, key)
+	if !found {
+		var zero V
+		return zero, false
+	}
+	return n.vals[i], true
+}
+
+// search returns the index of the first key >= target and whether it is an
+// exact match.
+func search(keys [][]byte, target []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && bytes.Equal(keys[lo], target)
+}
+
+// childIndex returns which child of an interior node covers key. Separator
+// semantics: child[i] holds keys < keys[i]; child[i] keys are >= keys[i-1].
+func childIndex(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(key, keys[mid]) >= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Put inserts or replaces the value for key, returning the previous value
+// if one existed. The key slice is retained; callers must not mutate it.
+func (t *Tree[V]) Put(key []byte, val V) (old V, replaced bool) {
+	old, replaced, split, sepKey, right := t.insert(t.root, key, val)
+	if split {
+		t.root = &node[V]{
+			keys:     [][]byte{sepKey},
+			children: []*node[V]{t.root, right},
+		}
+	}
+	if !replaced {
+		t.size++
+	}
+	return old, replaced
+}
+
+func (t *Tree[V]) insert(n *node[V], key []byte, val V) (old V, replaced, split bool, sepKey []byte, right *node[V]) {
+	if n.leaf {
+		i, found := search(n.keys, key)
+		if found {
+			old, n.vals[i] = n.vals[i], val
+			return old, true, false, nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		var zero V
+		n.vals = append(n.vals, zero)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		if len(n.keys) > degree {
+			sepKey, right = t.splitLeaf(n)
+			return old, false, true, sepKey, right
+		}
+		return old, false, false, nil, nil
+	}
+	ci := childIndex(n.keys, key)
+	old, replaced, childSplit, childSep, childRight := t.insert(n.children[ci], key, val)
+	if childSplit {
+		n.keys = append(n.keys, nil)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = childSep
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = childRight
+		if len(n.keys) > degree {
+			sepKey, right = t.splitInterior(n)
+			return old, replaced, true, sepKey, right
+		}
+	}
+	return old, replaced, false, nil, nil
+}
+
+func (t *Tree[V]) splitLeaf(n *node[V]) ([]byte, *node[V]) {
+	mid := len(n.keys) / 2
+	right := &node[V]{
+		leaf: true,
+		keys: append([][]byte(nil), n.keys[mid:]...),
+		vals: append([]V(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+func (t *Tree[V]) splitInterior(n *node[V]) ([]byte, *node[V]) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node[V]{
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]*node[V](nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+// Delete removes key, returning its value if present.
+func (t *Tree[V]) Delete(key []byte) (V, bool) {
+	old, found := t.remove(t.root, key)
+	if found {
+		t.size--
+		if !t.root.leaf && len(t.root.children) == 1 {
+			t.root = t.root.children[0]
+		}
+	}
+	return old, found
+}
+
+func (t *Tree[V]) remove(n *node[V], key []byte) (V, bool) {
+	if n.leaf {
+		i, found := search(n.keys, key)
+		if !found {
+			var zero V
+			return zero, false
+		}
+		old := n.vals[i]
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return old, true
+	}
+	ci := childIndex(n.keys, key)
+	old, found := t.remove(n.children[ci], key)
+	if found && len(n.children[ci].keys) < minLen {
+		t.rebalance(n, ci)
+	}
+	return old, found
+}
+
+// rebalance fixes up child ci of n after a deletion left it underfull.
+func (t *Tree[V]) rebalance(n *node[V], ci int) {
+	child := n.children[ci]
+	// Try borrowing from the left sibling.
+	if ci > 0 {
+		left := n.children[ci-1]
+		if len(left.keys) > minLen {
+			if child.leaf {
+				k := left.keys[len(left.keys)-1]
+				v := left.vals[len(left.vals)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				left.vals = left.vals[:len(left.vals)-1]
+				child.keys = append([][]byte{k}, child.keys...)
+				child.vals = append([]V{v}, child.vals...)
+				n.keys[ci-1] = child.keys[0]
+			} else {
+				k := left.keys[len(left.keys)-1]
+				c := left.children[len(left.children)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				left.children = left.children[:len(left.children)-1]
+				child.keys = append([][]byte{n.keys[ci-1]}, child.keys...)
+				child.children = append([]*node[V]{c}, child.children...)
+				n.keys[ci-1] = k
+			}
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if ci < len(n.children)-1 {
+		rightSib := n.children[ci+1]
+		if len(rightSib.keys) > minLen {
+			if child.leaf {
+				child.keys = append(child.keys, rightSib.keys[0])
+				child.vals = append(child.vals, rightSib.vals[0])
+				rightSib.keys = rightSib.keys[1:]
+				rightSib.vals = rightSib.vals[1:]
+				n.keys[ci] = rightSib.keys[0]
+			} else {
+				child.keys = append(child.keys, n.keys[ci])
+				child.children = append(child.children, rightSib.children[0])
+				n.keys[ci] = rightSib.keys[0]
+				rightSib.keys = rightSib.keys[1:]
+				rightSib.children = rightSib.children[1:]
+			}
+			return
+		}
+	}
+	// Merge with a sibling.
+	if ci > 0 {
+		t.merge(n, ci-1)
+	} else {
+		t.merge(n, ci)
+	}
+}
+
+// merge folds child i+1 of n into child i.
+func (t *Tree[V]) merge(n *node[V], i int) {
+	left, right := n.children[i], n.children[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// AscendRange calls fn for every entry with start <= key < end, in key
+// order. A nil start begins at the smallest key; a nil end scans to the
+// largest. fn returning false stops the scan.
+func (t *Tree[V]) AscendRange(start, end []byte, fn func(key []byte, val V) bool) {
+	n := t.root
+	for !n.leaf {
+		if start == nil {
+			n = n.children[0]
+		} else {
+			n = n.children[childIndex(n.keys, start)]
+		}
+	}
+	i := 0
+	if start != nil {
+		i, _ = search(n.keys, start)
+	}
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if end != nil && bytes.Compare(n.keys[i], end) >= 0 {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// Ascend scans all entries in key order.
+func (t *Tree[V]) Ascend(fn func(key []byte, val V) bool) {
+	t.AscendRange(nil, nil, fn)
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree[V]) Min() ([]byte, V, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	if len(n.keys) == 0 {
+		var zero V
+		return nil, zero, false
+	}
+	return n.keys[0], n.vals[0], true
+}
+
+// Max returns the largest key and its value.
+func (t *Tree[V]) Max() ([]byte, V, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	if len(n.keys) == 0 {
+		var zero V
+		return nil, zero, false
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1], true
+}

@@ -1,0 +1,251 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func TestBasicCRUD(t *testing.T) {
+	tr := New[int]()
+	if _, ok := tr.Get([]byte("a")); ok {
+		t.Fatal("empty tree returned a value")
+	}
+	if _, replaced := tr.Put([]byte("a"), 1); replaced {
+		t.Fatal("fresh put reported replace")
+	}
+	if old, replaced := tr.Put([]byte("a"), 2); !replaced || old != 1 {
+		t.Fatalf("replace returned (%d,%v)", old, replaced)
+	}
+	if v, ok := tr.Get([]byte("a")); !ok || v != 2 {
+		t.Fatalf("get = (%d,%v)", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if old, ok := tr.Delete([]byte("a")); !ok || old != 2 {
+		t.Fatalf("delete = (%d,%v)", old, ok)
+	}
+	if _, ok := tr.Delete([]byte("a")); ok {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len after delete = %d", tr.Len())
+	}
+}
+
+func TestLargeSequentialAndReverse(t *testing.T) {
+	for _, reverse := range []bool{false, true} {
+		tr := New[int]()
+		n := 10000
+		for i := 0; i < n; i++ {
+			k := i
+			if reverse {
+				k = n - 1 - i
+			}
+			tr.Put(key(k), k)
+		}
+		if tr.Len() != n {
+			t.Fatalf("len = %d, want %d", tr.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			if v, ok := tr.Get(key(i)); !ok || v != i {
+				t.Fatalf("get(%d) = (%d,%v)", i, v, ok)
+			}
+		}
+		// Ordered iteration.
+		i := 0
+		tr.Ascend(func(k []byte, v int) bool {
+			if !bytes.Equal(k, key(i)) || v != i {
+				t.Fatalf("iteration out of order at %d: %s", i, k)
+			}
+			i++
+			return true
+		})
+		if i != n {
+			t.Fatalf("iterated %d of %d", i, n)
+		}
+	}
+}
+
+func TestDeleteEverythingInRandomOrder(t *testing.T) {
+	tr := New[int]()
+	n := 5000
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), i)
+	}
+	for _, i := range perm {
+		if _, ok := tr.Delete(key(i)); !ok {
+			t.Fatalf("delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after deleting all", tr.Len())
+	}
+	count := 0
+	tr.Ascend(func([]byte, int) bool { count++; return true })
+	if count != 0 {
+		t.Fatalf("iterated %d entries in empty tree", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), i)
+	}
+	var got []int
+	tr.AscendRange(key(10), key(20), func(_ []byte, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range scan = %v", got)
+	}
+	// Early stop.
+	got = got[:0]
+	tr.AscendRange(key(0), nil, func(_ []byte, v int) bool {
+		got = append(got, v)
+		return v < 4
+	})
+	if len(got) != 5 {
+		t.Fatalf("early stop scan = %v", got)
+	}
+	// Range start not present.
+	got = got[:0]
+	tr.AscendRange([]byte("key-00000010x"), key(13), func(_ []byte, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 2 || got[0] != 11 {
+		t.Fatalf("mid-start scan = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New[int]()
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree")
+	}
+	for i := 5; i < 50; i++ {
+		tr.Put(key(i), i)
+	}
+	if k, v, ok := tr.Min(); !ok || !bytes.Equal(k, key(5)) || v != 5 {
+		t.Fatalf("Min = %s,%d,%v", k, v, ok)
+	}
+	if k, v, ok := tr.Max(); !ok || !bytes.Equal(k, key(49)) || v != 49 {
+		t.Fatalf("Max = %s,%d,%v", k, v, ok)
+	}
+}
+
+// TestAgainstModel drives random operations against a map+sorted-slice
+// model and checks full equivalence after every batch.
+func TestAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tr := New[int]()
+	model := make(map[string]int)
+	for round := 0; round < 200; round++ {
+		for op := 0; op < 100; op++ {
+			k := key(rng.Intn(800))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Int()
+				_, replaced := tr.Put(k, v)
+				if _, inModel := model[string(k)]; inModel != replaced {
+					t.Fatalf("replace mismatch for %s", k)
+				}
+				model[string(k)] = v
+			case 2:
+				_, ok := tr.Delete(k)
+				if _, inModel := model[string(k)]; inModel != ok {
+					t.Fatalf("delete mismatch for %s", k)
+				}
+				delete(model, string(k))
+			}
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("len %d != model %d", tr.Len(), len(model))
+		}
+		keys := make([]string, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		tr.Ascend(func(k []byte, v int) bool {
+			if string(k) != keys[i] || v != model[keys[i]] {
+				t.Fatalf("round %d: entry %d mismatch: %s", round, i, k)
+			}
+			i++
+			return true
+		})
+		if i != len(keys) {
+			t.Fatalf("iterated %d, model has %d", i, len(keys))
+		}
+	}
+}
+
+func TestQuickRandomKeys(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		tr := New[int]()
+		model := make(map[string]int)
+		for i, k := range keys {
+			tr.Put(append([]byte(nil), k...), i)
+			model[string(k)] = i
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := tr.Get([]byte(k))
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndZeroLengthKeys(t *testing.T) {
+	tr := New[string]()
+	tr.Put([]byte{}, "empty")
+	tr.Put([]byte{0}, "zero")
+	if v, ok := tr.Get([]byte{}); !ok || v != "empty" {
+		t.Fatal("empty key lookup failed")
+	}
+	if v, ok := tr.Get([]byte{0}); !ok || v != "zero" {
+		t.Fatal("zero-byte key lookup failed")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Put(key(i), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[int]()
+	for i := 0; i < 100000; i++ {
+		tr.Put(key(i), i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % 100000))
+	}
+}

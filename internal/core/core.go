@@ -1,0 +1,624 @@
+// Package core implements SQL Ledger itself — the paper's primary
+// contribution. It layers on the relational engine:
+//
+//   - Ledger tables (updateable and append-only) whose schema is extended
+//     with four hidden system columns, with historical versions preserved
+//     in history tables (§2.1, §3.1).
+//   - Row hashing into per-transaction, per-table streaming Merkle trees
+//     wired into every DML operation (§3.2).
+//   - The database ledger: transaction entries appended to an in-memory
+//     queue on the commit path, drained to the sys_ledger_transactions
+//     system table at checkpoint, grouped into blocks chained by hash in
+//     sys_ledger_blocks (§3.3).
+//   - Database digests, verification of the five ledger invariants
+//     (§3.4), schema changes (§3.5), digest management across restores
+//     (§3.6), transaction receipts (§5.1) and ledger truncation (§5.2).
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"sqlledger/internal/engine"
+	"sqlledger/internal/merkle"
+	"sqlledger/internal/serial"
+	"sqlledger/internal/sqltypes"
+	"sqlledger/internal/wal"
+)
+
+// Core errors.
+var (
+	ErrEmptyLedger       = errors.New("core: ledger has no transactions yet")
+	ErrAppendOnly        = errors.New("core: table is append-only")
+	ErrNotLedgerTable    = errors.New("core: not a ledger table")
+	ErrReplicationBehind = errors.New("core: geo-secondary too far behind to issue a digest")
+	ErrBlockNotClosed    = errors.New("core: block not closed yet")
+)
+
+// DefaultBlockSize is the paper's production block size (§3.3.1).
+const DefaultBlockSize = 100_000
+
+// Options configures Open.
+type Options struct {
+	// Dir is the database directory.
+	Dir string
+	// Name identifies the database in digests.
+	Name string
+	// BlockSize is the number of transactions per ledger block
+	// (default DefaultBlockSize).
+	BlockSize uint32
+	// Sync selects WAL durability.
+	Sync wal.SyncMode
+	// LockTimeout bounds row-lock waits.
+	LockTimeout time.Duration
+	// ReplicaLag, if set, simulates asynchronous geo-replication: it
+	// returns the current replication lag of the secondary. Digest
+	// generation only covers data already replicated (§3.6).
+	ReplicaLag func() time.Duration
+	// MaxReplicaDelay bounds how long digest generation waits for the
+	// secondary before failing with ErrReplicationBehind (default 5s).
+	MaxReplicaDelay time.Duration
+}
+
+// System table names.
+const (
+	sysTxName       = "sys_ledger_transactions"
+	sysBlocksName   = "sys_ledger_blocks"
+	sysViewsName    = "sys_ledger_views"
+	sysTableMetaN   = "sys_ledger_table_meta"
+	sysColumnMetaN  = "sys_ledger_column_meta"
+	sysTruncationsN = "sys_ledger_truncations"
+	sysTxBlockIndex = "ix_sys_ledger_transactions_block"
+)
+
+// Hidden ledger column names (§3.1).
+const (
+	ColStartTx  = "ledger_start_transaction_id"
+	ColStartSeq = "ledger_start_sequence_number"
+	ColEndTx    = "ledger_end_transaction_id"
+	ColEndSeq   = "ledger_end_sequence_number"
+)
+
+// LedgerDB is a database with SQL Ledger enabled.
+type LedgerDB struct {
+	opts Options
+	edb  *engine.DB
+	hook *ledgerHook
+
+	sysTx     *engine.Table
+	sysBlocks *engine.Table
+	sysViews  *engine.Table
+	txByBlock *engine.Index
+
+	metaTables  *LedgerTable
+	metaColumns *LedgerTable
+	truncations *LedgerTable
+
+	// lmu guards block/ordinal assignment and the in-memory queue.
+	lmu        sync.Mutex
+	queue      []*wal.LedgerEntry
+	curBlock   uint64
+	curOrdinal uint32
+
+	// closeMu makes block closing single-threaded (§3.3.2).
+	closeMu       sync.Mutex
+	closedThrough int64 // highest block id persisted to sys_ledger_blocks; -1 = none
+	prevHash      merkle.Hash
+
+	tmu    sync.RWMutex
+	tables map[uint32]*LedgerTable // by base table id
+
+	incarnation int64 // database create time; changes on restore (§3.6)
+
+	closeCh  chan struct{}
+	doneCh   chan struct{}
+	closedDB bool
+}
+
+// ledgerHook receives engine callbacks. It exists separately from LedgerDB
+// because recovery runs inside engine.Open, before the LedgerDB is wired.
+type ledgerHook struct {
+	l         *LedgerDB
+	recovered []*wal.LedgerEntry
+}
+
+func (h *ledgerHook) OnCommit(txID uint64, commitTS int64, user string, roots []wal.TableRoot) (uint64, uint32) {
+	return h.l.assignBlock(txID, commitTS, user, roots)
+}
+
+func (h *ledgerHook) BeforeSnapshot() {
+	if h.l != nil {
+		h.l.drainQueueLocked()
+	}
+}
+
+func (h *ledgerHook) StateBlob() []byte        { return nil }
+func (h *ledgerHook) LoadState(_ []byte) error { return nil }
+
+func (h *ledgerHook) Recovered(entries []*wal.LedgerEntry) { h.recovered = entries }
+
+// Open opens (creating if necessary) a ledger database.
+func Open(opts Options) (*LedgerDB, error) {
+	if opts.BlockSize == 0 {
+		opts.BlockSize = DefaultBlockSize
+	}
+	if opts.MaxReplicaDelay == 0 {
+		opts.MaxReplicaDelay = 5 * time.Second
+	}
+	if opts.Name == "" {
+		opts.Name = filepath.Base(opts.Dir)
+	}
+	h := &ledgerHook{}
+	edb, err := engine.Open(engine.Options{
+		Dir:         opts.Dir,
+		Sync:        opts.Sync,
+		LockTimeout: opts.LockTimeout,
+		Hook:        h,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l := &LedgerDB{
+		opts:          opts,
+		edb:           edb,
+		hook:          h,
+		closedThrough: -1,
+		tables:        make(map[uint32]*LedgerTable),
+		closeCh:       make(chan struct{}, 1),
+		doneCh:        make(chan struct{}),
+	}
+	h.l = l
+	if err := l.loadIncarnation(); err != nil {
+		edb.Close()
+		return nil, err
+	}
+	if err := l.bootstrap(); err != nil {
+		edb.Close()
+		return nil, err
+	}
+	if err := l.reconcile(h.recovered); err != nil {
+		edb.Close()
+		return nil, err
+	}
+	h.recovered = nil
+	go l.blockCloser()
+	return l, nil
+}
+
+// Close stops background work and closes the database.
+func (l *LedgerDB) Close() error {
+	l.lmu.Lock()
+	if l.closedDB {
+		l.lmu.Unlock()
+		return nil
+	}
+	l.closedDB = true
+	l.lmu.Unlock()
+	close(l.doneCh)
+	return l.edb.Close()
+}
+
+// Engine exposes the underlying relational engine (regular tables, DDL,
+// checkpointing, tamper simulation).
+func (l *LedgerDB) Engine() *engine.DB { return l.edb }
+
+// Name returns the database name used in digests.
+func (l *LedgerDB) Name() string { return l.opts.Name }
+
+// Incarnation returns the database create time (unix nanoseconds); it
+// changes when the database is restored to a point in time.
+func (l *LedgerDB) Incarnation() int64 { return l.incarnation }
+
+// Checkpoint drains the ledger queue into the system tables and writes an
+// engine snapshot (§3.3.2).
+func (l *LedgerDB) Checkpoint() error {
+	_, err := l.edb.Checkpoint()
+	return err
+}
+
+const incarnationFile = "createtime"
+
+func (l *LedgerDB) loadIncarnation() error {
+	p := filepath.Join(l.opts.Dir, incarnationFile)
+	b, err := os.ReadFile(p)
+	if err == nil {
+		v, perr := strconv.ParseInt(string(b), 10, 64)
+		if perr != nil {
+			return fmt.Errorf("core: bad incarnation file: %w", perr)
+		}
+		l.incarnation = v
+		return nil
+	}
+	if !os.IsNotExist(err) {
+		return err
+	}
+	l.incarnation = time.Now().UnixNano()
+	return os.WriteFile(p, []byte(strconv.FormatInt(l.incarnation, 10)), 0o644)
+}
+
+// --- Bootstrap ---------------------------------------------------------
+
+var sysTxSchema = sqltypes.MustSchema([]sqltypes.Column{
+	sqltypes.Col("transaction_id", sqltypes.TypeBigInt),
+	sqltypes.Col("block_id", sqltypes.TypeBigInt),
+	sqltypes.Col("ordinal_in_block", sqltypes.TypeBigInt),
+	sqltypes.Col("commit_ts", sqltypes.TypeDateTime),
+	sqltypes.Col("principal", sqltypes.TypeNVarChar),
+	sqltypes.Col("table_hashes", sqltypes.TypeVarBinary),
+}, "transaction_id")
+
+var sysBlocksSchema = sqltypes.MustSchema([]sqltypes.Column{
+	sqltypes.Col("block_id", sqltypes.TypeBigInt),
+	sqltypes.Col("previous_block_hash", sqltypes.TypeBinary),
+	sqltypes.Col("transactions_root_hash", sqltypes.TypeBinary),
+	sqltypes.Col("transaction_count", sqltypes.TypeBigInt),
+	sqltypes.Col("closed_ts", sqltypes.TypeDateTime),
+}, "block_id")
+
+var sysViewsSchema = sqltypes.MustSchema([]sqltypes.Column{
+	sqltypes.Col("table_id", sqltypes.TypeBigInt),
+	sqltypes.Col("definition", sqltypes.TypeNVarChar),
+}, "table_id")
+
+func (l *LedgerDB) bootstrap() error {
+	var err error
+	ensure := func(name string, schema *sqltypes.Schema) *engine.Table {
+		if err != nil {
+			return nil
+		}
+		if t, terr := l.edb.Table(name); terr == nil {
+			return t
+		}
+		var t *engine.Table
+		t, err = l.edb.CreateTable(engine.CreateTableSpec{Name: name, Schema: schema, System: true})
+		return t
+	}
+	l.sysTx = ensure(sysTxName, sysTxSchema)
+	l.sysBlocks = ensure(sysBlocksName, sysBlocksSchema)
+	l.sysViews = ensure(sysViewsName, sysViewsSchema)
+	if err != nil {
+		return err
+	}
+	// Secondary index for fetching a block's transactions efficiently.
+	l.txByBlock = nil
+	for _, ix := range l.sysTx.Indexes() {
+		if ix.Meta().Name == sysTxBlockIndex {
+			l.txByBlock = ix
+			break
+		}
+	}
+	if l.txByBlock == nil {
+		l.txByBlock, err = l.edb.CreateIndex(sysTxName, sysTxBlockIndex, "block_id")
+		if err != nil {
+			return err
+		}
+	}
+
+	// Ledger system tables tracking table/column metadata (§3.5.2) and
+	// truncation events (§5.2). They are themselves ledger tables; their
+	// own metadata is not self-registered to avoid recursion.
+	metaTablesSchema := sqltypes.MustSchema([]sqltypes.Column{
+		sqltypes.Col("table_id", sqltypes.TypeBigInt),
+		sqltypes.Col("table_name", sqltypes.TypeNVarChar),
+		sqltypes.Col("ledger_kind", sqltypes.TypeNVarChar),
+		sqltypes.NullableCol("history_table_id", sqltypes.TypeBigInt),
+	}, "table_id")
+	metaColumnsSchema := sqltypes.MustSchema([]sqltypes.Column{
+		sqltypes.Col("table_id", sqltypes.TypeBigInt),
+		sqltypes.Col("column_ordinal", sqltypes.TypeBigInt),
+		sqltypes.Col("column_name", sqltypes.TypeNVarChar),
+		sqltypes.Col("column_type", sqltypes.TypeNVarChar),
+		sqltypes.Col("nullable", sqltypes.TypeBit),
+	}, "table_id", "column_ordinal")
+	truncSchema := sqltypes.MustSchema([]sqltypes.Column{
+		sqltypes.Col("truncation_id", sqltypes.TypeBigInt),
+		sqltypes.Col("before_block", sqltypes.TypeBigInt),
+		sqltypes.Col("max_truncated_tx", sqltypes.TypeBigInt),
+		sqltypes.Col("performed_ts", sqltypes.TypeDateTime),
+	}, "truncation_id")
+
+	mk := func(name string, schema *sqltypes.Schema, kind engine.LedgerKind) *LedgerTable {
+		if err != nil {
+			return nil
+		}
+		if t, terr := l.edb.Table(name); terr == nil {
+			var lt *LedgerTable
+			lt, err = l.wrapLedgerTable(t)
+			return lt
+		}
+		var lt *LedgerTable
+		lt, err = l.createLedgerTable(name, schema, kind, true)
+		return lt
+	}
+	l.metaTables = mk(sysTableMetaN, metaTablesSchema, engine.LedgerUpdateable)
+	l.metaColumns = mk(sysColumnMetaN, metaColumnsSchema, engine.LedgerUpdateable)
+	l.truncations = mk(sysTruncationsN, truncSchema, engine.LedgerAppendOnly)
+	if err != nil {
+		return err
+	}
+
+	// Wrap every pre-existing ledger table from the catalog (reopen path).
+	for _, t := range l.edb.Tables() {
+		m := t.Meta()
+		if m.Ledger == engine.LedgerUpdateable || m.Ledger == engine.LedgerAppendOnly {
+			if _, ok := l.tables[m.ID]; !ok {
+				if _, werr := l.wrapLedgerTable(t); werr != nil {
+					return werr
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// reconcile rebuilds ledger assignment state after recovery: entries whose
+// COMMIT records were replayed but that are missing from the system table
+// go back on the in-memory queue (§3.3.2).
+func (l *LedgerDB) reconcile(recovered []*wal.LedgerEntry) error {
+	// Highest closed block and its hash.
+	l.sysBlocks.Scan(func(_ []byte, r sqltypes.Row) bool {
+		b := int64(r[0].Int())
+		if b > l.closedThrough {
+			l.closedThrough = b
+			l.prevHash = blockHashOfRow(r)
+		}
+		return true
+	})
+
+	// Re-queue entries missing from sys_ledger_transactions, preserving
+	// commit order.
+	for _, e := range recovered {
+		key := sqltypes.EncodeKey(nil, sqltypes.NewBigInt(int64(e.TxID)))
+		if _, ok := l.sysTx.Lookup(key); !ok {
+			l.queue = append(l.queue, e)
+		}
+	}
+
+	// Next (block, ordinal) assignment: one past the highest assignment
+	// observed anywhere.
+	maxBlock, maxOrd, any := int64(-1), int64(-1), false
+	observe := func(b, o int64) {
+		if !any || b > maxBlock || (b == maxBlock && o > maxOrd) {
+			maxBlock, maxOrd, any = b, o, true
+		}
+	}
+	l.sysTx.Scan(func(_ []byte, r sqltypes.Row) bool {
+		observe(r[1].Int(), r[2].Int())
+		return true
+	})
+	for _, e := range l.queue {
+		observe(int64(e.BlockID), int64(e.Ordinal))
+	}
+	switch {
+	case !any:
+		l.curBlock, l.curOrdinal = uint64(l.closedThrough+1), 0
+	case maxOrd+1 >= int64(l.opts.BlockSize):
+		l.curBlock, l.curOrdinal = uint64(maxBlock)+1, 0
+	default:
+		l.curBlock, l.curOrdinal = uint64(maxBlock), uint32(maxOrd)+1
+	}
+	if l.curBlock <= uint64(l.closedThrough) && l.closedThrough >= 0 {
+		l.curBlock, l.curOrdinal = uint64(l.closedThrough)+1, 0
+	}
+	return nil
+}
+
+// --- Commit path (§3.3.2) ----------------------------------------------
+
+// assignBlock runs inside the engine's commit critical section: it assigns
+// the transaction to the current block, appends the entry to the in-memory
+// queue, and pokes the asynchronous block closer when a block fills up.
+func (l *LedgerDB) assignBlock(txID uint64, commitTS int64, user string, roots []wal.TableRoot) (uint64, uint32) {
+	l.lmu.Lock()
+	if l.curOrdinal >= l.opts.BlockSize {
+		l.curBlock++
+		l.curOrdinal = 0
+	}
+	block, ord := l.curBlock, l.curOrdinal
+	l.curOrdinal++
+	filled := l.curOrdinal >= l.opts.BlockSize
+	l.queue = append(l.queue, &wal.LedgerEntry{
+		TxID: txID, BlockID: block, Ordinal: ord, CommitTS: commitTS, User: user,
+		Roots: append([]wal.TableRoot(nil), roots...),
+	})
+	l.lmu.Unlock()
+	if filled {
+		select {
+		case l.closeCh <- struct{}{}:
+		default:
+		}
+	}
+	return block, ord
+}
+
+// drainQueueLocked persists queued entries into sys_ledger_transactions.
+// Called by the engine under full quiescence just before a snapshot; the
+// writes bypass the WAL because the snapshot itself persists them, and
+// recovery from any older snapshot rebuilds the queue from COMMIT records.
+func (l *LedgerDB) drainQueueLocked() {
+	l.lmu.Lock()
+	q := l.queue
+	l.queue = nil
+	l.lmu.Unlock()
+	for _, e := range q {
+		if _, err := l.edb.DirectInsert(l.sysTx, entryToRow(e)); err != nil {
+			// The only possible failure is a duplicate from a re-drain,
+			// which is harmless.
+			continue
+		}
+	}
+}
+
+// blockCloser is the single background goroutine that closes filled
+// blocks (§3.3.2: "this operation is single-threaded ... and happens
+// asynchronously").
+func (l *LedgerDB) blockCloser() {
+	for {
+		select {
+		case <-l.doneCh:
+			return
+		case <-l.closeCh:
+			l.lmu.Lock()
+			target := int64(l.curBlock) - 1
+			l.lmu.Unlock()
+			_ = l.closeBlocksThrough(target)
+		}
+	}
+}
+
+// closeBlocksThrough closes every open block with id <= target, in order.
+func (l *LedgerDB) closeBlocksThrough(target int64) error {
+	l.closeMu.Lock()
+	defer l.closeMu.Unlock()
+	for b := l.closedThrough + 1; b <= target; b++ {
+		entries := l.entriesOfBlock(uint64(b))
+		if len(entries) == 0 {
+			return fmt.Errorf("core: block %d has no transactions to close", b)
+		}
+		var tree merkle.Streaming
+		for i, e := range entries {
+			if e.Ordinal != uint32(i) {
+				return fmt.Errorf("core: block %d has a gap at ordinal %d", b, i)
+			}
+			tree.Append(entryHash(e))
+		}
+		root := tree.Root()
+		row := sqltypes.Row{
+			sqltypes.NewBigInt(b),
+			sqltypes.NewBinary(append([]byte(nil), l.prevHash[:]...)),
+			sqltypes.NewBinary(append([]byte(nil), root[:]...)),
+			sqltypes.NewBigInt(int64(len(entries))),
+			sqltypes.NewDateTime(time.Now()),
+		}
+		// Persisting the closed block is a regular, WAL-logged table
+		// update, so its durability is guaranteed by the engine.
+		tx := l.edb.Begin("system")
+		if _, err := tx.Insert(l.sysBlocks, row); err != nil {
+			tx.Rollback()
+			return err
+		}
+		if _, err := l.edb.Commit(tx); err != nil {
+			return err
+		}
+		l.prevHash = blockHashOfRow(row)
+		l.closedThrough = b
+	}
+	return nil
+}
+
+// entriesOfBlock returns the block's entries from the system table plus
+// the in-memory queue, sorted by ordinal.
+func (l *LedgerDB) entriesOfBlock(block uint64) []*wal.LedgerEntry {
+	var out []*wal.LedgerEntry
+	l.sysTx.LookupIndexPrefix(l.txByBlock, []sqltypes.Value{sqltypes.NewBigInt(int64(block))},
+		func(_ []byte, r sqltypes.Row) bool {
+			out = append(out, rowToEntry(r))
+			return true
+		})
+	l.lmu.Lock()
+	for _, e := range l.queue {
+		if e.BlockID == block {
+			out = append(out, e)
+		}
+	}
+	l.lmu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Ordinal < out[j].Ordinal })
+	return out
+}
+
+// --- Entry and block hashing --------------------------------------------
+
+func rootsBlob(roots []wal.TableRoot) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(roots)))
+	for _, tr := range roots {
+		b = binary.AppendUvarint(b, uint64(tr.TableID))
+		b = append(b, tr.Root[:]...)
+	}
+	return b
+}
+
+func parseRootsBlob(b []byte) ([]wal.TableRoot, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("core: bad roots blob")
+	}
+	pos := sz
+	out := make([]wal.TableRoot, 0, n)
+	for i := uint64(0); i < n; i++ {
+		tid, sz := binary.Uvarint(b[pos:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("core: bad roots blob table id")
+		}
+		pos += sz
+		var tr wal.TableRoot
+		tr.TableID = uint32(tid)
+		if pos+len(tr.Root) > len(b) {
+			return nil, fmt.Errorf("core: truncated roots blob")
+		}
+		copy(tr.Root[:], b[pos:])
+		pos += len(tr.Root)
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+func entryToRow(e *wal.LedgerEntry) sqltypes.Row {
+	return sqltypes.Row{
+		sqltypes.NewBigInt(int64(e.TxID)),
+		sqltypes.NewBigInt(int64(e.BlockID)),
+		sqltypes.NewBigInt(int64(e.Ordinal)),
+		sqltypes.Value{Type: sqltypes.TypeDateTime, I64: e.CommitTS},
+		sqltypes.NewNVarChar(e.User),
+		sqltypes.NewVarBinary(rootsBlob(e.Roots)),
+	}
+}
+
+func rowToEntry(r sqltypes.Row) *wal.LedgerEntry {
+	roots, _ := parseRootsBlob(r[5].Bytes)
+	return &wal.LedgerEntry{
+		TxID:     uint64(r[0].Int()),
+		BlockID:  uint64(r[1].Int()),
+		Ordinal:  uint32(r[2].Int()),
+		CommitTS: r[3].Int(),
+		User:     r[4].Str,
+		Roots:    roots,
+	}
+}
+
+func u64le(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// entryHash is the canonical hash of a transaction entry — the leaf of the
+// per-block transactions Merkle tree (§3.3.1).
+func entryHash(e *wal.LedgerEntry) merkle.Hash {
+	return serial.HashBytes(
+		u64le(e.TxID),
+		u64le(e.BlockID),
+		u64le(uint64(e.Ordinal)),
+		u64le(uint64(e.CommitTS)),
+		[]byte(e.User),
+		rootsBlob(e.Roots),
+	)
+}
+
+// blockHashOfRow is the canonical hash of a sys_ledger_blocks row — the
+// value digests capture and the "previous block hash" of the next block.
+func blockHashOfRow(r sqltypes.Row) merkle.Hash {
+	return serial.HashBytes(
+		u64le(uint64(r[0].Int())), // block id
+		r[1].Bytes,                // previous block hash
+		r[2].Bytes,                // transactions root
+		u64le(uint64(r[3].Int())), // transaction count
+		u64le(uint64(r[4].Int())), // closed ts
+	)
+}

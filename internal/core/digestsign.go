@@ -1,0 +1,74 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+
+	"sqlledger/internal/serial"
+)
+
+// Digest signing (§2.4): "Database Digests can be ... signed with the
+// company's private/public key pair, to guarantee their authenticity, and
+// shared with any customers, partners or auditors who can later use them
+// to verify the corresponding data." A SignedDigest binds the digest's
+// contents under an ed25519 signature so recipients can check it came
+// from the key holder before trusting it as verification input.
+
+// SignedDigest is a digest plus an authenticity signature.
+type SignedDigest struct {
+	Digest    Digest            `json:"digest"`
+	Signature []byte            `json:"signature"`
+	PublicKey ed25519.PublicKey `json:"public_key"`
+}
+
+// digestMessage canonicalizes the signed content: every field of the
+// digest, bound with length prefixes.
+func digestMessage(d Digest) []byte {
+	h := serial.HashBytes(
+		[]byte("sqlledger-digest"),
+		[]byte(d.DatabaseName),
+		u64le(uint64(d.Incarnation)),
+		u64le(d.BlockID),
+		[]byte(d.Hash),
+		u64le(uint64(d.LastCommitTS)),
+		u64le(uint64(d.GeneratedAt)),
+	)
+	return h[:]
+}
+
+// SignDigest signs a digest with the organization's private key.
+func SignDigest(d Digest, priv ed25519.PrivateKey) SignedDigest {
+	return SignedDigest{
+		Digest:    d,
+		Signature: ed25519.Sign(priv, digestMessage(d)),
+		PublicKey: append(ed25519.PublicKey(nil), priv.Public().(ed25519.PublicKey)...),
+	}
+}
+
+// VerifySignedDigest checks the signature under pub (use the publicly
+// known key, not the embedded one, when authenticity matters).
+func VerifySignedDigest(sd SignedDigest, pub ed25519.PublicKey) error {
+	if !ed25519.Verify(pub, digestMessage(sd.Digest), sd.Signature) {
+		return fmt.Errorf("core: digest signature is invalid")
+	}
+	return nil
+}
+
+// JSON renders the signed digest as a JSON document.
+func (sd SignedDigest) JSON() []byte {
+	b, err := json.Marshal(sd)
+	if err != nil {
+		panic(fmt.Sprintf("core: signed digest marshal: %v", err))
+	}
+	return b
+}
+
+// ParseSignedDigest parses a signed digest document.
+func ParseSignedDigest(b []byte) (SignedDigest, error) {
+	var sd SignedDigest
+	if err := json.Unmarshal(b, &sd); err != nil {
+		return sd, fmt.Errorf("core: bad signed digest: %w", err)
+	}
+	return sd, nil
+}

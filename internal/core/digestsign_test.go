@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"sqlledger/internal/engine"
+)
+
+func TestSignedDigestRoundtrip(t *testing.T) {
+	pub, priv := testKeys(t)
+	l := openTestLedger(t, 100)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	d := seedAccounts(t, l, lt, 2)
+
+	sd := SignDigest(d, priv)
+	if err := VerifySignedDigest(sd, pub); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	back, err := ParseSignedDigest(sd.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySignedDigest(back, pub); err != nil {
+		t.Fatalf("verify after JSON roundtrip: %v", err)
+	}
+	// The verified digest is usable as verification input.
+	verifyOK(t, l, []Digest{back.Digest})
+}
+
+func TestSignedDigestTamperDetected(t *testing.T) {
+	pub, priv := testKeys(t)
+	l := openTestLedger(t, 100)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	d := seedAccounts(t, l, lt, 2)
+	sd := SignDigest(d, priv)
+
+	// flipHex replaces the first character with a different hex digit, so
+	// the mutation is never a no-op regardless of the actual hash value.
+	flipHex := func(s string) string {
+		if s[0] == '0' {
+			return "1" + s[1:]
+		}
+		return "0" + s[1:]
+	}
+	for name, mutate := range map[string]func(*SignedDigest){
+		"hash":      func(s *SignedDigest) { s.Digest.Hash = flipHex(s.Digest.Hash) },
+		"block":     func(s *SignedDigest) { s.Digest.BlockID++ },
+		"name":      func(s *SignedDigest) { s.Digest.DatabaseName = "other" },
+		"time":      func(s *SignedDigest) { s.Digest.LastCommitTS++ },
+		"signature": func(s *SignedDigest) { s.Signature[0] ^= 1 },
+	} {
+		bad := sd
+		bad.Signature = append([]byte(nil), sd.Signature...)
+		mutate(&bad)
+		if err := VerifySignedDigest(bad, pub); err == nil {
+			t.Errorf("%s tamper accepted", name)
+		}
+	}
+	otherPub, _ := testKeys(t)
+	if err := VerifySignedDigest(sd, otherPub); err == nil {
+		t.Error("wrong key accepted")
+	}
+	if _, err := ParseSignedDigest([]byte("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}

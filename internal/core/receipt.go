@@ -1,0 +1,175 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+
+	"sqlledger/internal/merkle"
+	"sqlledger/internal/serial"
+	"sqlledger/internal/sqltypes"
+	"sqlledger/internal/wal"
+)
+
+// Receipt proves that a transaction is part of the ledger (§5.1,
+// non-repudiation): it carries the transaction entry, a Merkle inclusion
+// proof of the entry in its block's transactions tree, and a signature
+// over the block root. One signing operation covers every transaction in
+// the block, so generating receipts stays cheap even at the paper's 100K
+// transactions per block.
+//
+// A receipt is verifiable offline — even after the ledger has been
+// tampered with or destroyed — with only the signer's public key.
+type Receipt struct {
+	DatabaseName string            `json:"database_name"`
+	Entry        ReceiptEntry      `json:"transaction"`
+	BlockID      uint64            `json:"block_id"`
+	BlockRoot    string            `json:"block_transactions_root"`
+	Proof        ReceiptProof      `json:"merkle_proof"`
+	Signature    []byte            `json:"signature"`
+	PublicKey    ed25519.PublicKey `json:"public_key"`
+}
+
+// ReceiptEntry is the transaction entry embedded in a receipt.
+type ReceiptEntry struct {
+	TxID     uint64             `json:"transaction_id"`
+	Ordinal  uint32             `json:"ordinal_in_block"`
+	CommitTS int64              `json:"commit_time"`
+	User     string             `json:"principal"`
+	Roots    []ReceiptTableRoot `json:"table_roots"`
+}
+
+// ReceiptTableRoot is a per-table Merkle root inside a receipt.
+type ReceiptTableRoot struct {
+	TableID uint32 `json:"table_id"`
+	Root    string `json:"root"`
+}
+
+// ReceiptProof is the Merkle inclusion proof inside a receipt.
+type ReceiptProof struct {
+	Index     uint64   `json:"index"`
+	LeafCount uint64   `json:"leaf_count"`
+	Siblings  []string `json:"siblings"`
+}
+
+// JSON renders the receipt.
+func (r Receipt) JSON() []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		panic(fmt.Sprintf("core: receipt marshal: %v", err))
+	}
+	return b
+}
+
+// ParseReceipt parses a receipt JSON document.
+func ParseReceipt(b []byte) (Receipt, error) {
+	var r Receipt
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("core: bad receipt: %w", err)
+	}
+	return r, nil
+}
+
+// signedMessage is what the block signer signs: the database name, block
+// id and transactions root, bound together canonically.
+func signedMessage(dbName string, blockID uint64, root merkle.Hash) []byte {
+	h := serial.HashBytes([]byte("sqlledger-block-receipt"), []byte(dbName), u64le(blockID), root[:])
+	return h[:]
+}
+
+// GenerateReceipt produces a receipt for txID, signing the block root with
+// priv. The transaction's block must already be closed (generate a digest
+// first to force-close the current block).
+func (l *LedgerDB) GenerateReceipt(txID uint64, priv ed25519.PrivateKey) (Receipt, error) {
+	key := sqltypes.EncodeKey(nil, sqltypes.NewBigInt(int64(txID)))
+	row, ok := l.sysTx.Lookup(key)
+	var e *wal.LedgerEntry
+	if ok {
+		e = rowToEntry(row)
+	} else {
+		l.lmu.Lock()
+		for _, q := range l.queue {
+			if q.TxID == txID {
+				e = q.Clone()
+				break
+			}
+		}
+		l.lmu.Unlock()
+	}
+	if e == nil {
+		return Receipt{}, fmt.Errorf("core: transaction %d is not in the ledger", txID)
+	}
+	l.closeMu.Lock()
+	closed := l.closedThrough
+	l.closeMu.Unlock()
+	if int64(e.BlockID) > closed {
+		return Receipt{}, fmt.Errorf("%w: transaction %d is in open block %d", ErrBlockNotClosed, txID, e.BlockID)
+	}
+	es := l.entriesOfBlock(e.BlockID)
+	leaves := make([]merkle.Hash, len(es))
+	for i, be := range es {
+		leaves[i] = entryHash(be)
+	}
+	proof, err := merkle.BuildProof(leaves, uint64(e.Ordinal))
+	if err != nil {
+		return Receipt{}, err
+	}
+	root := merkle.RootOf(leaves)
+	sibs := make([]string, len(proof.Siblings))
+	for i, s := range proof.Siblings {
+		sibs[i] = s.String()
+	}
+	roots := make([]ReceiptTableRoot, len(e.Roots))
+	for i, tr := range e.Roots {
+		roots[i] = ReceiptTableRoot{TableID: tr.TableID, Root: tr.Root.String()}
+	}
+	return Receipt{
+		DatabaseName: l.opts.Name,
+		Entry: ReceiptEntry{
+			TxID: e.TxID, Ordinal: e.Ordinal, CommitTS: e.CommitTS, User: e.User, Roots: roots,
+		},
+		BlockID:   e.BlockID,
+		BlockRoot: root.String(),
+		Proof:     ReceiptProof{Index: proof.Index, LeafCount: proof.LeafCount, Siblings: sibs},
+		Signature: ed25519.Sign(priv, signedMessage(l.opts.Name, e.BlockID, root)),
+		PublicKey: append(ed25519.PublicKey(nil), priv.Public().(ed25519.PublicKey)...),
+	}, nil
+}
+
+// VerifyReceipt checks a receipt offline: the signature over the block
+// root must verify under pub, and the Merkle proof must link the
+// transaction entry to that root. It needs no database access.
+func VerifyReceipt(r Receipt, pub ed25519.PublicKey) error {
+	root, err := merkle.ParseHash(r.BlockRoot)
+	if err != nil {
+		return err
+	}
+	if !ed25519.Verify(pub, signedMessage(r.DatabaseName, r.BlockID, root), r.Signature) {
+		return fmt.Errorf("core: receipt signature is invalid")
+	}
+	roots := make([]wal.TableRoot, len(r.Entry.Roots))
+	for i, tr := range r.Entry.Roots {
+		h, err := merkle.ParseHash(tr.Root)
+		if err != nil {
+			return err
+		}
+		roots[i] = wal.TableRoot{TableID: tr.TableID, Root: h}
+	}
+	leaf := entryHash(&wal.LedgerEntry{
+		TxID: r.Entry.TxID, BlockID: r.BlockID, Ordinal: r.Entry.Ordinal,
+		CommitTS: r.Entry.CommitTS, User: r.Entry.User, Roots: roots,
+	})
+	sibs := make([]merkle.Hash, len(r.Proof.Siblings))
+	for i, s := range r.Proof.Siblings {
+		h, err := merkle.ParseHash(s)
+		if err != nil {
+			return err
+		}
+		sibs[i] = h
+	}
+	proof := merkle.Proof{Index: r.Proof.Index, LeafCount: r.Proof.LeafCount, Siblings: sibs}
+	if !proof.Verify(root, leaf) {
+		return fmt.Errorf("core: receipt Merkle proof does not verify")
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"sqlledger/internal/engine"
+)
+
+// RestoreToTime performs a point-in-time restore of the ledger database in
+// srcDir into dstDir (§3.6). The restored database is a new *incarnation*:
+// it gets a fresh create time, so digests uploaded to immutable storage
+// are kept apart from those of the original, and users can see that (and
+// when) a restore happened. Digests issued by earlier incarnations remain
+// verifiable for the blocks that survive the restore.
+func RestoreToTime(srcDir, dstDir string, targetTS int64) error {
+	if err := engine.RestoreToTime(srcDir, dstDir, targetTS); err != nil {
+		return err
+	}
+	// New incarnation: a fresh create time.
+	return os.WriteFile(filepath.Join(dstDir, incarnationFile),
+		[]byte(strconv.FormatInt(time.Now().UnixNano(), 10)), 0o644)
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqlledger/internal/engine"
+	"sqlledger/internal/sqltypes"
+)
+
+// LedgerTable is the handle through which applications operate on a
+// ledger table. DML must go through LedgerDB transactions (tx.go), which
+// maintain the history table and the transaction Merkle trees.
+type LedgerTable struct {
+	l       *LedgerDB
+	table   *engine.Table
+	history *engine.Table // nil for append-only tables
+
+	// Ordinals of the four hidden system columns (§3.1).
+	startTxOrd, startSeqOrd, endTxOrd, endSeqOrd int
+}
+
+// Name returns the table name.
+func (lt *LedgerTable) Name() string { return lt.table.Name() }
+
+// ID returns the base table id.
+func (lt *LedgerTable) ID() uint32 { return lt.table.ID() }
+
+// Kind returns whether the table is updateable or append-only.
+func (lt *LedgerTable) Kind() engine.LedgerKind { return lt.table.Meta().Ledger }
+
+// Table exposes the underlying engine table (used by verification and
+// tamper simulation).
+func (lt *LedgerTable) Table() *engine.Table { return lt.table }
+
+// History exposes the history table (nil for append-only tables).
+func (lt *LedgerTable) History() *engine.Table { return lt.history }
+
+// VisibleColumns returns the application-visible columns.
+func (lt *LedgerTable) VisibleColumns() []sqltypes.Column {
+	return lt.table.Schema().VisibleColumns()
+}
+
+// skipEndColumns excludes the end-transaction system columns from a
+// version's insert-time hash: they were NULL when the version was created,
+// so excluding them makes the hash recomputable after the version moves to
+// the history table with the end columns populated (§3.1, §3.4).
+func (lt *LedgerTable) skipEndColumns(ord int) bool {
+	return ord == lt.endTxOrd || ord == lt.endSeqOrd
+}
+
+// isReservedColumn reports whether a column name collides with one of the
+// hidden system columns.
+func isReservedColumn(name string) bool {
+	switch strings.ToLower(name) {
+	case ColStartTx, ColStartSeq, ColEndTx, ColEndSeq:
+		return true
+	}
+	return false
+}
+
+// historyName derives the history table name for a ledger table.
+func historyName(base string) string { return base + "__ledger_history" }
+
+// hiddenLedgerColumns returns the four system columns appended to every
+// ledger table schema.
+func hiddenLedgerColumns() []sqltypes.Column {
+	return []sqltypes.Column{
+		{Name: ColStartTx, Type: sqltypes.TypeBigInt, Hidden: true},
+		{Name: ColStartSeq, Type: sqltypes.TypeBigInt, Hidden: true},
+		{Name: ColEndTx, Type: sqltypes.TypeBigInt, Nullable: true, Hidden: true},
+		{Name: ColEndSeq, Type: sqltypes.TypeBigInt, Nullable: true, Hidden: true},
+	}
+}
+
+// CreateLedgerTable creates a ledger table (and, for updateable tables,
+// its history table), registers its metadata in the ledger system tables
+// and records its ledger-view definition. The schema must not contain
+// columns named like the hidden system columns. Updateable tables require
+// a primary key.
+func (l *LedgerDB) CreateLedgerTable(name string, userSchema *sqltypes.Schema, kind engine.LedgerKind) (*LedgerTable, error) {
+	return l.createLedgerTable(name, userSchema, kind, false)
+}
+
+func (l *LedgerDB) createLedgerTable(name string, userSchema *sqltypes.Schema, kind engine.LedgerKind, bootstrapping bool) (*LedgerTable, error) {
+	switch kind {
+	case engine.LedgerUpdateable, engine.LedgerAppendOnly:
+	default:
+		return nil, fmt.Errorf("core: invalid ledger kind %q", kind)
+	}
+	if kind == engine.LedgerUpdateable && len(userSchema.Key) == 0 {
+		return nil, fmt.Errorf("core: updateable ledger table %s requires a primary key", name)
+	}
+	for _, c := range userSchema.Columns {
+		if isReservedColumn(c.Name) {
+			return nil, fmt.Errorf("core: column name %q is reserved", c.Name)
+		}
+	}
+	cols := append(append([]sqltypes.Column(nil), userSchema.Columns...), hiddenLedgerColumns()...)
+	keyNames := make([]string, len(userSchema.Key))
+	for i, ord := range userSchema.Key {
+		keyNames[i] = userSchema.Columns[ord].Name
+	}
+	full, err := sqltypes.NewSchema(cols, keyNames...)
+	if err != nil {
+		return nil, err
+	}
+	t, err := l.edb.CreateTable(engine.CreateTableSpec{
+		Name: name, Schema: full, Ledger: kind, System: bootstrapping,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var hist *engine.Table
+	if kind == engine.LedgerUpdateable {
+		// The history table mirrors the columns but is a heap: superseded
+		// versions of different rows may collide on the user key.
+		hSchema, err := sqltypes.NewSchema(cols)
+		if err != nil {
+			return nil, err
+		}
+		hist, err = l.edb.CreateTable(engine.CreateTableSpec{
+			Name: historyName(name), Schema: hSchema, Ledger: engine.LedgerHistory, System: bootstrapping,
+		})
+		if err != nil {
+			return nil, err
+		}
+		histID := hist.ID()
+		baseID := t.ID()
+		if err := l.edb.AlterTableMeta(baseID, func(m *engine.TableMeta) error {
+			m.HistoryTableID = histID
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if err := l.edb.AlterTableMeta(histID, func(m *engine.TableMeta) error {
+			m.BaseTableID = baseID
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	lt, err := l.wrapLedgerTable(t)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.storeViewDefinition(lt); err != nil {
+		return nil, err
+	}
+	if !bootstrapping {
+		if err := l.registerTableMetadata(lt); err != nil {
+			return nil, err
+		}
+	}
+	return lt, nil
+}
+
+// wrapLedgerTable builds the runtime handle for an existing ledger table.
+func (l *LedgerDB) wrapLedgerTable(t *engine.Table) (*LedgerTable, error) {
+	m := t.Meta()
+	if m.Ledger != engine.LedgerUpdateable && m.Ledger != engine.LedgerAppendOnly {
+		return nil, fmt.Errorf("%w: %s", ErrNotLedgerTable, m.Name)
+	}
+	lt := &LedgerTable{l: l, table: t}
+	s := t.Schema()
+	named := func(name string) (int, error) {
+		for _, c := range s.Columns {
+			if c.Hidden && strings.EqualFold(c.Name, name) {
+				return c.Ordinal, nil
+			}
+		}
+		return 0, fmt.Errorf("core: table %s is missing system column %s", m.Name, name)
+	}
+	var err error
+	if lt.startTxOrd, err = named(ColStartTx); err != nil {
+		return nil, err
+	}
+	if lt.startSeqOrd, err = named(ColStartSeq); err != nil {
+		return nil, err
+	}
+	if lt.endTxOrd, err = named(ColEndTx); err != nil {
+		return nil, err
+	}
+	if lt.endSeqOrd, err = named(ColEndSeq); err != nil {
+		return nil, err
+	}
+	if m.Ledger == engine.LedgerUpdateable {
+		if lt.history, err = l.edb.TableByID(m.HistoryTableID); err != nil {
+			return nil, fmt.Errorf("core: history table of %s: %w", m.Name, err)
+		}
+	}
+	l.tmu.Lock()
+	l.tables[m.ID] = lt
+	l.tmu.Unlock()
+	return lt, nil
+}
+
+// LedgerTable returns the handle for a ledger table by name.
+func (l *LedgerDB) LedgerTable(name string) (*LedgerTable, error) {
+	t, err := l.edb.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	l.tmu.RLock()
+	lt, ok := l.tables[t.ID()]
+	l.tmu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotLedgerTable, name)
+	}
+	return lt, nil
+}
+
+// LedgerTables returns handles for all ledger tables (including dropped
+// and system ones), ordered by table id.
+func (l *LedgerDB) LedgerTables() []*LedgerTable {
+	l.tmu.RLock()
+	defer l.tmu.RUnlock()
+	out := make([]*LedgerTable, 0, len(l.tables))
+	for _, lt := range l.tables {
+		out = append(out, lt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// fullRow expands an application row (visible columns, in visible order)
+// into a storage row: hidden columns receive the transaction/sequence
+// values, dropped columns receive NULL.
+func (lt *LedgerTable) fullRow(visible sqltypes.Row, txID uint64, seq uint32) (sqltypes.Row, error) {
+	s := lt.table.Schema()
+	out := make(sqltypes.Row, len(s.Columns))
+	vi := 0
+	for i, c := range s.Columns {
+		switch {
+		case c.Hidden:
+			switch i {
+			case lt.startTxOrd:
+				out[i] = sqltypes.NewBigInt(int64(txID))
+			case lt.startSeqOrd:
+				out[i] = sqltypes.NewBigInt(int64(seq))
+			default:
+				out[i] = sqltypes.NewNull(sqltypes.TypeBigInt)
+			}
+		case c.Dropped:
+			out[i] = sqltypes.NewNull(c.Type)
+		default:
+			if vi >= len(visible) {
+				return nil, fmt.Errorf("core: row for %s has %d values, want %d", lt.Name(), len(visible), len(s.VisibleColumns()))
+			}
+			out[i] = visible[vi]
+			vi++
+		}
+	}
+	if vi != len(visible) {
+		return nil, fmt.Errorf("core: row for %s has %d values, want %d", lt.Name(), len(visible), vi)
+	}
+	return out, nil
+}
+
+// VisibleRow projects a storage row onto the application-visible columns.
+// The result is a fresh slice safe for the caller to modify and pass back
+// to Update.
+func (lt *LedgerTable) VisibleRow(full sqltypes.Row) sqltypes.Row {
+	s := lt.table.Schema()
+	out := make(sqltypes.Row, 0, len(full))
+	for i, c := range s.Columns {
+		if !c.Hidden && !c.Dropped {
+			out = append(out, full[i])
+		}
+	}
+	return out
+}
+
+// densePrefix returns n > 0 when the visible columns are exactly the
+// first n schema columns (the common case: user columns followed by the
+// four hidden system columns, no drops, no post-creation additions), or
+// -1 otherwise. Scans use it to project rows by subslicing instead of
+// allocating — reads on ledger tables must cost the same as on regular
+// tables, as in the paper.
+func (lt *LedgerTable) densePrefix() int {
+	s := lt.table.Schema()
+	n := -1
+	for i, c := range s.Columns {
+		visible := !c.Hidden && !c.Dropped
+		switch {
+		case visible && n == -1:
+			// still in the visible prefix
+		case !visible && n == -1:
+			n = i // first invisible column ends the prefix
+		case visible && n != -1:
+			return -1 // visible column after an invisible one: not dense
+		}
+	}
+	if n == -1 {
+		n = len(s.Columns)
+	}
+	if n == 0 {
+		return -1
+	}
+	return n
+}
+
+// visibleProjector returns the cheapest projection for scan callbacks.
+// Rows it returns may alias storage and are only valid during the
+// callback; callers must Clone before mutating or retaining them (the
+// same contract as engine.Table.Scan).
+func (lt *LedgerTable) visibleProjector() func(sqltypes.Row) sqltypes.Row {
+	if n := lt.densePrefix(); n > 0 {
+		return func(full sqltypes.Row) sqltypes.Row { return full[:n] }
+	}
+	return lt.VisibleRow
+}
+
+// endedRow returns a copy of a version row with the end-transaction
+// columns populated — the form inserted into the history table.
+func (lt *LedgerTable) endedRow(full sqltypes.Row, txID uint64, seq uint32) sqltypes.Row {
+	out := full.Clone()
+	out[lt.endTxOrd] = sqltypes.NewBigInt(int64(txID))
+	out[lt.endSeqOrd] = sqltypes.NewBigInt(int64(seq))
+	return out
+}
+
+// registerTableMetadata records the table and its columns in the ledger
+// metadata system tables (§3.5.2, Figure 6), via a regular ledger
+// transaction so the operations themselves are tamper-evident.
+func (l *LedgerDB) registerTableMetadata(lt *LedgerTable) error {
+	tx := l.Begin("system")
+	defer tx.Rollback()
+	m := lt.table.Meta()
+	metaRow := sqltypes.Row{
+		sqltypes.NewBigInt(int64(m.ID)),
+		sqltypes.NewNVarChar(m.Name),
+		sqltypes.NewNVarChar(string(m.Ledger)),
+		sqltypes.NewNull(sqltypes.TypeBigInt),
+	}
+	if m.HistoryTableID != 0 {
+		metaRow[3] = sqltypes.NewBigInt(int64(m.HistoryTableID))
+	}
+	if err := tx.Insert(l.metaTables, metaRow); err != nil {
+		return err
+	}
+	for _, c := range lt.table.Schema().Columns {
+		if c.Hidden {
+			continue
+		}
+		if err := tx.Insert(l.metaColumns, sqltypes.Row{
+			sqltypes.NewBigInt(int64(m.ID)),
+			sqltypes.NewBigInt(int64(c.Ordinal)),
+			sqltypes.NewNVarChar(c.Name),
+			sqltypes.NewNVarChar(c.Type.String()),
+			sqltypes.NewBit(c.Nullable),
+		}); err != nil {
+			return err
+		}
+	}
+	return tx.Commit()
+}

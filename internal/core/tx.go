@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlledger/internal/engine"
+	"sqlledger/internal/merkle"
+	"sqlledger/internal/serial"
+	"sqlledger/internal/sqltypes"
+	"sqlledger/internal/wal"
+)
+
+// Tx is a ledger-aware transaction. DML on ledger tables transparently
+// maintains the history table, assigns the hidden transaction/sequence
+// columns, and streams row-version hashes into per-table Merkle trees
+// whose roots become the transaction's ledger entry at commit (§3.2).
+//
+// Regular (non-ledger) tables are reachable through Raw().
+type Tx struct {
+	l   *LedgerDB
+	etx *engine.Tx
+
+	// trees holds the per-ledger-table streaming Merkle tree of row
+	// versions updated by this transaction.
+	trees map[uint32]*merkle.Streaming
+	// spSnaps[token] captures the state of every tree when savepoint
+	// token was created, aligned with the engine's savepoint stack.
+	spSnaps [][]treeSnap
+}
+
+type treeSnap struct {
+	tableID uint32
+	snap    merkle.Snapshot
+}
+
+// Begin starts a ledger transaction on behalf of user.
+func (l *LedgerDB) Begin(user string) *Tx {
+	return &Tx{l: l, etx: l.edb.Begin(user), trees: make(map[uint32]*merkle.Streaming)}
+}
+
+// ID returns the transaction id.
+func (tx *Tx) ID() uint64 { return tx.etx.ID() }
+
+// Raw exposes the underlying engine transaction for DML on regular
+// tables. Do not use it to modify ledger tables directly: that bypasses
+// history and hashing and is exactly the class of modification the
+// verification process exists to detect.
+func (tx *Tx) Raw() *engine.Tx { return tx.etx }
+
+func (tx *Tx) tree(lt *LedgerTable) *merkle.Streaming {
+	t := tx.trees[lt.ID()]
+	if t == nil {
+		t = &merkle.Streaming{}
+		tx.trees[lt.ID()] = t
+	}
+	return t
+}
+
+// Insert adds a row (visible columns only, in visible-column order) to a
+// ledger table.
+func (tx *Tx) Insert(lt *LedgerTable, visible sqltypes.Row) error {
+	seq := tx.etx.NextSeq()
+	full, err := lt.fullRow(visible, tx.etx.ID(), seq)
+	if err != nil {
+		return err
+	}
+	if _, err := tx.etx.Insert(lt.table, full); err != nil {
+		return err
+	}
+	tx.tree(lt).Append(serial.HashRow(lt.table.Schema(), full, serial.OpInsert, lt.skipEndColumns))
+	return nil
+}
+
+// Delete removes the row with the given primary-key values, moving the
+// deleted version to the history table.
+func (tx *Tx) Delete(lt *LedgerTable, keyVals ...sqltypes.Value) error {
+	if lt.Kind() == engine.LedgerAppendOnly {
+		return fmt.Errorf("%w: %s", ErrAppendOnly, lt.Name())
+	}
+	before, err := tx.etx.Delete(lt.table, keyVals...)
+	if err != nil {
+		return err
+	}
+	endSeq := tx.etx.NextSeq()
+	ended := lt.endedRow(before, tx.etx.ID(), endSeq)
+	if _, err := tx.etx.Insert(lt.history, ended); err != nil {
+		return err
+	}
+	tx.tree(lt).Append(serial.HashRow(lt.table.Schema(), ended, serial.OpDelete, nil))
+	return nil
+}
+
+// Update replaces the row whose primary key matches visible, preserving
+// the superseded version in the history table. Hashing order follows the
+// operation: the deleted old version first, then the new version.
+func (tx *Tx) Update(lt *LedgerTable, visible sqltypes.Row) error {
+	if lt.Kind() == engine.LedgerAppendOnly {
+		return fmt.Errorf("%w: %s", ErrAppendOnly, lt.Name())
+	}
+	endSeq := tx.etx.NextSeq()
+	newSeq := tx.etx.NextSeq()
+	newFull, err := lt.fullRow(visible, tx.etx.ID(), newSeq)
+	if err != nil {
+		return err
+	}
+	key := sqltypes.EncodeRowKey(lt.table.Schema(), newFull)
+	before, err := tx.etx.UpdateByKey(lt.table, key, newFull)
+	if err != nil {
+		return err
+	}
+	ended := lt.endedRow(before, tx.etx.ID(), endSeq)
+	if _, err := tx.etx.Insert(lt.history, ended); err != nil {
+		return err
+	}
+	tr := tx.tree(lt)
+	tr.Append(serial.HashRow(lt.table.Schema(), ended, serial.OpDelete, nil))
+	tr.Append(serial.HashRow(lt.table.Schema(), newFull, serial.OpInsert, lt.skipEndColumns))
+	return nil
+}
+
+// refreshRow rewrites a current row version in place under a fresh start
+// transaction/sequence and hashes it as an insert operation of this
+// transaction. Used exclusively by ledger truncation (§5.2) to move a
+// row's digest out of a block about to be deleted; unlike Update it does
+// not write a history row, because a history row would keep referencing
+// the truncated transaction through its insert-side hash.
+func (tx *Tx) refreshRow(lt *LedgerTable, key []byte) error {
+	full, ok, err := tx.etx.GetByKey(lt.table, key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("core: refresh target vanished in %s", lt.Name())
+	}
+	seq := tx.etx.NextSeq()
+	next := full.Clone()
+	next[lt.startTxOrd] = sqltypes.NewBigInt(int64(tx.etx.ID()))
+	next[lt.startSeqOrd] = sqltypes.NewBigInt(int64(seq))
+	if _, err := tx.etx.UpdateByKey(lt.table, key, next); err != nil {
+		return err
+	}
+	tx.tree(lt).Append(serial.HashRow(lt.table.Schema(), next, serial.OpInsert, lt.skipEndColumns))
+	return nil
+}
+
+// Get returns the visible row with the given primary-key values.
+func (tx *Tx) Get(lt *LedgerTable, keyVals ...sqltypes.Value) (sqltypes.Row, bool, error) {
+	full, ok, err := tx.etx.Get(lt.table, keyVals...)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	return lt.VisibleRow(full), true, nil
+}
+
+// Scan iterates the visible rows of a ledger table in primary-key order.
+// Rows passed to fn may alias storage and are only valid during the
+// callback: Clone before mutating or retaining them.
+func (tx *Tx) Scan(lt *LedgerTable, fn func(row sqltypes.Row) bool) error {
+	project := lt.visibleProjector()
+	return tx.etx.Scan(lt.table, func(_ []byte, full sqltypes.Row) bool {
+		return fn(project(full))
+	})
+}
+
+// ScanPrefix iterates the visible rows whose leading primary-key columns
+// equal vals, in primary-key order. The callback contract is as for Scan.
+func (tx *Tx) ScanPrefix(lt *LedgerTable, fn func(row sqltypes.Row) bool, vals ...sqltypes.Value) error {
+	project := lt.visibleProjector()
+	start, end := engine.PrefixRange(vals...)
+	return tx.etx.ScanRange(lt.table, start, end, func(_ []byte, full sqltypes.Row) bool {
+		return fn(project(full))
+	})
+}
+
+// Savepoint creates a savepoint, snapshotting the O(log N) state of every
+// transaction Merkle tree (§3.2.1).
+func (tx *Tx) Savepoint() int {
+	token := tx.etx.Savepoint()
+	snaps := make([]treeSnap, 0, len(tx.trees))
+	for tid, tr := range tx.trees {
+		snaps = append(snaps, treeSnap{tableID: tid, snap: tr.Snapshot()})
+	}
+	if token != len(tx.spSnaps) {
+		// Engine and core savepoint stacks must advance in lockstep.
+		panic(fmt.Sprintf("core: savepoint stacks diverged (%d != %d)", token, len(tx.spSnaps)))
+	}
+	tx.spSnaps = append(tx.spSnaps, snaps)
+	return token
+}
+
+// RollbackTo rolls the transaction back to a savepoint, restoring both
+// the engine write buffer and the Merkle tree state.
+func (tx *Tx) RollbackTo(token int) error {
+	if token < 0 || token >= len(tx.spSnaps) {
+		return fmt.Errorf("core: invalid savepoint %d", token)
+	}
+	if err := tx.etx.RollbackTo(token); err != nil {
+		return err
+	}
+	snaps := tx.spSnaps[token]
+	tx.spSnaps = tx.spSnaps[:token+1]
+	restored := make(map[uint32]bool, len(snaps))
+	for _, s := range snaps {
+		if tr := tx.trees[s.tableID]; tr != nil {
+			tr.Restore(s.snap)
+			restored[s.tableID] = true
+		}
+	}
+	for tid, tr := range tx.trees {
+		if !restored[tid] {
+			tr.Reset() // tree created after the savepoint
+		}
+	}
+	return nil
+}
+
+// Commit finalizes the per-table Merkle roots, hands them to the engine
+// (which builds the ledger entry inside the commit critical section) and
+// commits. Returns the commit timestamp in unix nanoseconds.
+func (tx *Tx) Commit() error {
+	_, err := tx.CommitTS()
+	return err
+}
+
+// CommitTS is Commit returning the commit timestamp.
+func (tx *Tx) CommitTS() (int64, error) {
+	var roots []wal.TableRoot
+	for tid, tr := range tx.trees {
+		if tr.Count() > 0 {
+			roots = append(roots, wal.TableRoot{TableID: tid, Root: tr.Root()})
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].TableID < roots[j].TableID })
+	tx.etx.Roots = roots
+	return tx.l.edb.Commit(tx.etx)
+}
+
+// Rollback abandons the transaction.
+func (tx *Tx) Rollback() error {
+	err := tx.etx.Rollback()
+	if err == engine.ErrTxDone {
+		return nil
+	}
+	return err
+}

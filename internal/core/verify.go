@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"sqlledger/internal/engine"
+	"sqlledger/internal/merkle"
+	"sqlledger/internal/serial"
+	"sqlledger/internal/sqltypes"
+	"sqlledger/internal/wal"
+)
+
+// Issue is one inconsistency found by verification. Warning-class issues
+// (e.g. digests that point past a restore or truncation point) do not fail
+// the verification by themselves.
+type Issue struct {
+	// Invariant is the ledger invariant (1-5, §3.4.1) that failed; 0 for
+	// issues outside the numbered invariants (view definitions, inputs).
+	Invariant int
+	Table     string
+	Detail    string
+	Warning   bool
+}
+
+func (i Issue) String() string {
+	kind := "TAMPER"
+	if i.Warning {
+		kind = "WARNING"
+	}
+	if i.Table != "" {
+		return fmt.Sprintf("[%s inv%d table=%s] %s", kind, i.Invariant, i.Table, i.Detail)
+	}
+	return fmt.Sprintf("[%s inv%d] %s", kind, i.Invariant, i.Detail)
+}
+
+// Report is the outcome of a verification run.
+type Report struct {
+	Issues []Issue
+
+	BlocksChecked       int
+	TransactionsChecked int
+	RowVersionsChecked  int
+	TablesChecked       int
+	IndexesChecked      int
+	DigestsChecked      int
+}
+
+// Ok reports whether verification succeeded (no non-warning issues).
+func (r *Report) Ok() bool {
+	for _, i := range r.Issues {
+		if !i.Warning {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Report) add(i Issue) { r.Issues = append(r.Issues, i) }
+
+// String summarizes the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verification: blocks=%d txs=%d row-versions=%d tables=%d indexes=%d digests=%d",
+		r.BlocksChecked, r.TransactionsChecked, r.RowVersionsChecked, r.TablesChecked, r.IndexesChecked, r.DigestsChecked)
+	if r.Ok() {
+		b.WriteString(" -- OK")
+	} else {
+		fmt.Fprintf(&b, " -- FAILED (%d issues)", len(r.Issues))
+	}
+	for _, i := range r.Issues {
+		b.WriteString("\n  ")
+		b.WriteString(i.String())
+	}
+	return b.String()
+}
+
+// VerifyOptions tunes a verification run.
+type VerifyOptions struct {
+	// Tables restricts invariants 4 and 5 to the named ledger tables
+	// (§2.3: "options to verify individual Ledger tables or only a subset
+	// of the ledger"). Empty means all ledger tables.
+	Tables []string
+	// Parallelism bounds the number of tables verified concurrently
+	// (default GOMAXPROCS).
+	Parallelism int
+}
+
+// Verify is the ledger verification process (§3.4): given previously
+// generated digests, it recomputes every hash in the database ledger from
+// the current state of the ledger, history and system tables, checking
+// the five invariants plus the ledger-view definitions. The database
+// should be quiescent while verification runs (run it against a restored
+// copy or a maintenance window, as the paper suggests).
+func (l *LedgerDB) Verify(digests []Digest, opts VerifyOptions) (*Report, error) {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	rep := &Report{}
+
+	// Collect all transaction entries: persisted plus still queued.
+	entries := make(map[uint64]*wal.LedgerEntry)
+	l.sysTx.Scan(func(_ []byte, r sqltypes.Row) bool {
+		e := rowToEntry(r)
+		entries[e.TxID] = e
+		return true
+	})
+	l.lmu.Lock()
+	for _, e := range l.queue {
+		if _, dup := entries[e.TxID]; !dup {
+			entries[e.TxID] = e
+		}
+	}
+	l.lmu.Unlock()
+	truncatedBefore, truncatedMaxTx := l.truncationInfo()
+
+	// Invariants 1–3 run as query plans over the system tables, the way
+	// §3.4.2 expresses them inside the query processor (see
+	// verify_queries.go).
+	l.verifyDigestsQuery(digests, truncatedBefore, rep)
+	l.verifyChainQuery(truncatedBefore, rep)
+	l.verifyBlockRootsQuery(entries, rep)
+
+	// Invariants 4 and 5, per ledger table, in parallel.
+	tables := l.LedgerTables()
+	if len(opts.Tables) > 0 {
+		want := make(map[string]bool, len(opts.Tables))
+		for _, n := range opts.Tables {
+			want[strings.ToLower(n)] = true
+		}
+		var filtered []*LedgerTable
+		for _, lt := range tables {
+			if want[strings.ToLower(lt.Name())] {
+				filtered = append(filtered, lt)
+			}
+		}
+		tables = filtered
+	}
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, opts.Parallelism)
+	)
+	for _, lt := range tables {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(lt *LedgerTable) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sub := &Report{}
+			l.verifyTable(lt, entries, truncatedMaxTx, sub)
+			l.verifyIndexes(lt, sub)
+			mu.Lock()
+			rep.Issues = append(rep.Issues, sub.Issues...)
+			rep.RowVersionsChecked += sub.RowVersionsChecked
+			rep.IndexesChecked += sub.IndexesChecked
+			rep.TablesChecked++
+			mu.Unlock()
+		}(lt)
+	}
+	wg.Wait()
+
+	// Final step (§3.4.2): ledger-view definitions must match their
+	// canonical derivation.
+	for _, lt := range tables {
+		def, ok := l.ViewDefinition(lt.ID())
+		if !ok {
+			rep.add(Issue{Table: lt.Name(), Detail: "ledger view definition is missing"})
+			continue
+		}
+		if def != lt.canonicalViewDefinition() {
+			rep.add(Issue{Table: lt.Name(), Detail: "ledger view definition has been altered"})
+		}
+	}
+
+	sort.SliceStable(rep.Issues, func(i, j int) bool { return rep.Issues[i].Invariant < rep.Issues[j].Invariant })
+	return rep, nil
+}
+
+// opLeaf is one recomputed row-version hash attributed to a transaction.
+type opLeaf struct {
+	seq  uint64
+	hash merkle.Hash
+	// historyInsert marks the insert-side hash of a history-table row.
+	// It is the only op class a *truncated* transaction may legitimately
+	// still be referenced by: the row itself stays covered by the
+	// surviving deleting transaction's root (§5.2).
+	historyInsert bool
+}
+
+// verifyTable checks invariant 4 for one ledger table: for every
+// transaction, the Merkle root recomputed over the row versions it
+// created/deleted (in sequence order) matches the root recorded in its
+// ledger entry, and no row references an unknown transaction.
+func (l *LedgerDB) verifyTable(lt *LedgerTable, entries map[uint64]*wal.LedgerEntry, truncatedMaxTx uint64, rep *Report) {
+	s := lt.table.Schema()
+	byTx := make(map[uint64][]opLeaf)
+	name := lt.Name()
+
+	noteInsert := func(full sqltypes.Row, history bool) {
+		tx := uint64(full[lt.startTxOrd].Int())
+		seq := uint64(full[lt.startSeqOrd].Int())
+		h := serial.HashRow(s, full, serial.OpInsert, lt.skipEndColumns)
+		byTx[tx] = append(byTx[tx], opLeaf{seq: seq, hash: h, historyInsert: history})
+		rep.RowVersionsChecked++
+	}
+	lt.table.Scan(func(_ []byte, full sqltypes.Row) bool {
+		noteInsert(full, false)
+		return true
+	})
+	if lt.history != nil {
+		lt.history.Scan(func(_ []byte, full sqltypes.Row) bool {
+			noteInsert(full, true)
+			endTx := uint64(full[lt.endTxOrd].Int())
+			endSeq := uint64(full[lt.endSeqOrd].Int())
+			h := serial.HashRow(s, full, serial.OpDelete, nil)
+			byTx[endTx] = append(byTx[endTx], opLeaf{seq: endSeq, hash: h})
+			return true
+		})
+	}
+
+	truncated, _ := l.truncationInfo()
+	for txID, ops := range byTx {
+		e, ok := entries[txID]
+		if !ok {
+			if txID <= truncatedMaxTx && allHistoryInserts(ops) {
+				// Legitimately truncated: only the insert side of
+				// surviving history rows may point here; those rows are
+				// still covered by their deleting transaction's root.
+				continue
+			}
+			rep.add(Issue{Invariant: 4, Table: name,
+				Detail: fmt.Sprintf("row versions reference transaction %d which is not recorded in the ledger", txID)})
+			continue
+		}
+		var recorded *merkle.Hash
+		for i := range e.Roots {
+			if e.Roots[i].TableID == lt.ID() {
+				recorded = &e.Roots[i].Root
+				break
+			}
+		}
+		if recorded == nil {
+			rep.add(Issue{Invariant: 4, Table: name,
+				Detail: fmt.Sprintf("transaction %d has row versions in this table but no recorded Merkle root for it", txID)})
+			continue
+		}
+		sort.Slice(ops, func(i, j int) bool { return ops[i].seq < ops[j].seq })
+		leaves := make([]merkle.Hash, len(ops))
+		for i, op := range ops {
+			leaves[i] = op.hash
+		}
+		if got := merkle.RootOf(leaves); got != *recorded {
+			rep.add(Issue{Invariant: 4, Table: name,
+				Detail: fmt.Sprintf("transaction %d Merkle root mismatch: recorded=%s computed=%s", txID, recorded, got)})
+		}
+	}
+	// Completeness: entries claiming updates to this table must have row
+	// versions backing them (unless truncation legitimately removed them).
+	for txID, e := range entries {
+		if _, seen := byTx[txID]; seen {
+			continue
+		}
+		if e.BlockID < truncated {
+			continue
+		}
+		for _, tr := range e.Roots {
+			if tr.TableID == lt.ID() {
+				rep.add(Issue{Invariant: 4, Table: name,
+					Detail: fmt.Sprintf("transaction %d recorded updates to this table but no row versions remain", txID)})
+			}
+		}
+	}
+}
+
+// allHistoryInserts reports whether every op is a history-row insert hash.
+func allHistoryInserts(ops []opLeaf) bool {
+	for _, op := range ops {
+		if !op.historyInsert {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyIndexes checks invariant 5: every nonclustered index of the
+// ledger table and its history table must be equivalent to the base data.
+// Equivalence is checked by comparing a Merkle root over the index's
+// (entry key, clustered key) pairs in index order with a root over the
+// pairs recomputed from the base table and sorted the same way.
+func (l *LedgerDB) verifyIndexes(lt *LedgerTable, rep *Report) {
+	type tableRef struct {
+		name string
+		t    *engine.Table
+	}
+	tables := []tableRef{{lt.table.Name(), lt.table}}
+	if lt.history != nil {
+		tables = append(tables, tableRef{lt.history.Name(), lt.history})
+	}
+	for _, tr := range tables {
+		for _, ix := range tr.t.Indexes() {
+			rep.IndexesChecked++
+			var actual merkle.Streaming
+			tr.t.ScanIndex(ix, func(entryKey, clusteredKey []byte) bool {
+				actual.Append(serial.HashBytes(entryKey, clusteredKey))
+				return true
+			})
+			type pair struct{ ek, ck []byte }
+			var expected []pair
+			tr.t.Scan(func(ck []byte, row sqltypes.Row) bool {
+				expected = append(expected, pair{ix.EntryKey(ck, row), ck})
+				return true
+			})
+			sort.Slice(expected, func(i, j int) bool {
+				return string(expected[i].ek) < string(expected[j].ek)
+			})
+			var want merkle.Streaming
+			for _, p := range expected {
+				want.Append(serial.HashBytes(p.ek, p.ck))
+			}
+			if actual.Root() != want.Root() || actual.Count() != want.Count() {
+				rep.add(Issue{Invariant: 5, Table: tr.name,
+					Detail: fmt.Sprintf("nonclustered index %s is not equivalent to the base table data", ix.Meta().Name)})
+			}
+		}
+	}
+}

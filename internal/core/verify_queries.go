@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"sqlledger/internal/query"
+	"sqlledger/internal/sqltypes"
+	"sqlledger/internal/wal"
+)
+
+// The first three verification invariants, expressed as query plans over
+// the system tables — the way §3.4.2 implements them inside SQL Server's
+// query processor:
+//
+//	1. OPENJSON(digests) LEFT JOIN blocks ON block_id,
+//	   comparing the digest hash with LEDGERHASH(block).
+//	2. blocks ORDER BY block_id with LAG, comparing each block's recorded
+//	   previous hash with LEDGERHASH(previous block).
+//	3. transactions GROUP BY block_id ORDER BY ordinal with
+//	   MERKLETREEAGG(LEDGERHASH(transaction)) OUTER JOIN blocks.
+//
+// The LEDGERHASH intrinsic appears as Project steps computing hash
+// columns; MERKLETREEAGG is the order-sensitive aggregate from
+// internal/query.
+
+// blocksRelation scans sys_ledger_blocks and appends the computed block
+// hash: [block_id, prev_hash, root, count, closed_ts, LEDGERHASH(block)].
+func (l *LedgerDB) blocksRelation() query.Iterator {
+	return query.Sort(query.Project(query.Scan(l.sysBlocks), func(r sqltypes.Row) sqltypes.Row {
+		h := blockHashOfRow(r)
+		return append(append(sqltypes.Row{}, r...), sqltypes.NewVarBinary(append([]byte(nil), h[:]...)))
+	}), 0)
+}
+
+// verifyDigestsQuery checks invariant 1.
+func (l *LedgerDB) verifyDigestsQuery(digests []Digest, truncatedBefore uint64, rep *Report) {
+	rep.DigestsChecked = len(digests)
+	// Digest relation: [block_id, digest_hash, incarnation].
+	var digestRows []sqltypes.Row
+	for _, d := range digests {
+		h, err := d.BlockHash()
+		if err != nil {
+			rep.add(Issue{Invariant: 1, Detail: fmt.Sprintf("digest for block %d: %v", d.BlockID, err)})
+			continue
+		}
+		digestRows = append(digestRows, sqltypes.Row{
+			sqltypes.NewBigInt(int64(d.BlockID)),
+			sqltypes.NewVarBinary(append([]byte(nil), h[:]...)),
+			sqltypes.NewBigInt(d.Incarnation),
+		})
+	}
+	// LEFT JOIN with the blocks relation on block_id. Output:
+	// digest(0..2) ++ block(3..8); unmatched digests get NULL block cols.
+	joined := query.HashJoin(query.Values(digestRows), l.blocksRelation(), []int{0}, []int{0}, query.LeftJoin, 6)
+	for {
+		r, ok := joined.Next()
+		if !ok {
+			break
+		}
+		blockID := uint64(r[0].Int())
+		if r[3].Null { // no matching block
+			switch {
+			case blockID < truncatedBefore:
+				rep.add(Issue{Invariant: 1, Warning: true,
+					Detail: fmt.Sprintf("digest for block %d predates ledger truncation (before_block=%d); not verifiable", blockID, truncatedBefore)})
+			case r[2].Int() != l.incarnation:
+				rep.add(Issue{Invariant: 1, Warning: true,
+					Detail: fmt.Sprintf("digest for block %d was issued for incarnation %d and points past the restore point", blockID, r[2].Int())})
+			default:
+				rep.add(Issue{Invariant: 1, Detail: fmt.Sprintf("digest references block %d which is not present in the ledger", blockID)})
+			}
+			continue
+		}
+		if string(r[1].Bytes) != string(r[8].Bytes) {
+			rep.add(Issue{Invariant: 1, Detail: fmt.Sprintf("digest hash mismatch for block %d: digest=%x computed=%x", blockID, r[1].Bytes, r[8].Bytes)})
+		}
+	}
+}
+
+// verifyChainQuery checks invariant 2 with the LAG formulation.
+func (l *LedgerDB) verifyChainQuery(truncatedBefore uint64, rep *Report) {
+	// Each output row is prev(0..5) ++ cur(6..11).
+	it := query.Lag(l.blocksRelation(), 6)
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		rep.BlocksChecked++
+		curID := uint64(r[6].Int())
+		if r[0].Null { // first block of the chain
+			switch {
+			case curID == 0 && !allZero(r[7].Bytes):
+				rep.add(Issue{Invariant: 2, Detail: "block 0 must have a null previous hash"})
+			case curID > 0 && curID != truncatedBefore:
+				rep.add(Issue{Invariant: 2, Detail: fmt.Sprintf("chain starts at block %d with no truncation record covering it", curID)})
+			}
+			continue
+		}
+		prevID := uint64(r[0].Int())
+		if curID != prevID+1 {
+			rep.add(Issue{Invariant: 2, Detail: fmt.Sprintf("block gap: %d follows %d", curID, prevID)})
+			continue
+		}
+		// Current block's recorded previous hash vs. LEDGERHASH(prev).
+		if string(r[7].Bytes) != string(r[5].Bytes) {
+			rep.add(Issue{Invariant: 2, Detail: fmt.Sprintf("block %d previous-hash mismatch: recorded=%x computed-over-block-%d=%x", curID, r[7].Bytes, prevID, r[5].Bytes)})
+		}
+	}
+}
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyBlockRootsQuery checks invariant 3: group the transaction entries
+// by block, aggregate their hashes with MERKLETREEAGG in ordinal order,
+// and outer-join against the blocks relation.
+func (l *LedgerDB) verifyBlockRootsQuery(entries map[uint64]*wal.LedgerEntry, rep *Report) {
+	rep.TransactionsChecked = len(entries)
+	// Entry relation: [tx_id, block_id, ordinal, LEDGERHASH(entry)].
+	rows := make([]sqltypes.Row, 0, len(entries))
+	for _, e := range entries {
+		h := entryHash(e)
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewBigInt(int64(e.TxID)),
+			sqltypes.NewBigInt(int64(e.BlockID)),
+			sqltypes.NewBigInt(int64(e.Ordinal)),
+			sqltypes.NewVarBinary(append([]byte(nil), h[:]...)),
+		})
+	}
+	// ORDER BY block_id, ordinal; GROUP BY block_id with MERKLETREEAGG
+	// and COUNT; then FULL-ish join both ways against blocks.
+	grouped := query.Collect(query.GroupBy(
+		query.Sort(query.Values(rows), 1, 2),
+		[]int{1},
+		&query.MerkleTreeAgg{HashCol: 3},
+		&query.CountAgg{},
+		&query.MaxAgg{Col: 2},
+	)) // -> [block_id, root, count, max_ordinal]
+
+	// Side A: every closed block must match its group's root and count.
+	joined := query.HashJoin(l.blocksRelation(), query.Values(grouped), []int{0}, []int{0}, query.LeftJoin, 4)
+	var maxClosed int64 = -1
+	for {
+		r, ok := joined.Next()
+		if !ok {
+			break
+		}
+		// block(0..5) ++ group(6..9)
+		blockID := r[0].Int()
+		if blockID > maxClosed {
+			maxClosed = blockID
+		}
+		if r[6].Null {
+			rep.add(Issue{Invariant: 3, Detail: fmt.Sprintf("block %d has no transactions in the system", blockID)})
+			continue
+		}
+		count, maxOrd := r[8].Int(), r[9].Int()
+		if count != r[3].Int() {
+			rep.add(Issue{Invariant: 3, Detail: fmt.Sprintf("block %d records %d transactions but %d are present", blockID, r[3].Int(), count)})
+		}
+		if maxOrd != count-1 {
+			rep.add(Issue{Invariant: 3, Detail: fmt.Sprintf("block %d transaction ordinals are not contiguous", blockID)})
+			continue
+		}
+		if string(r[7].Bytes) != string(r[2].Bytes) {
+			rep.add(Issue{Invariant: 3, Detail: fmt.Sprintf("block %d transactions root mismatch: recorded=%x computed=%x", blockID, r[2].Bytes, r[7].Bytes)})
+		}
+	}
+	// Side B: every transaction in a closed block must belong to a block
+	// that exists (later transactions are still awaiting block close).
+	missing := query.Filter(
+		query.HashJoin(query.Values(grouped), l.blocksRelation(), []int{0}, []int{0}, query.LeftJoin, 6),
+		func(r sqltypes.Row) bool { return r[4].Null && r[0].Int() <= maxClosed },
+	)
+	for {
+		r, ok := missing.Next()
+		if !ok {
+			break
+		}
+		rep.add(Issue{Invariant: 3, Detail: fmt.Sprintf("transactions reference block %d which is not present", r[0].Int())})
+	}
+}

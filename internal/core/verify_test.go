@@ -1,0 +1,432 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sqlledger/internal/engine"
+	"sqlledger/internal/sqltypes"
+)
+
+// seedAccounts commits n single-insert transactions and returns a digest.
+func seedAccounts(t *testing.T, l *LedgerDB, lt *LedgerTable, n int) Digest {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		tx := l.Begin("seed")
+		if err := tx.Insert(lt, account(acctName(i), int64(i*10))); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	d, err := l.GenerateDigest()
+	if err != nil {
+		t.Fatalf("digest: %v", err)
+	}
+	return d
+}
+
+func acctName(i int) string { return "acct-" + string(rune('A'+i%26)) + string(rune('0'+i/26)) }
+
+func firstKeyOf(t *testing.T, tab *engine.Table) []byte {
+	t.Helper()
+	var key []byte
+	tab.Scan(func(k []byte, _ sqltypes.Row) bool {
+		key = append([]byte(nil), k...)
+		return false
+	})
+	if key == nil {
+		t.Fatal("table is empty")
+	}
+	return key
+}
+
+func TestVerifyCleanMultiBlock(t *testing.T) {
+	l := openTestLedger(t, 3) // tiny blocks: force several
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	d := seedAccounts(t, l, lt, 10)
+	rep := verifyOK(t, l, []Digest{d})
+	if rep.BlocksChecked < 3 {
+		t.Fatalf("blocks checked = %d, want several", rep.BlocksChecked)
+	}
+	if rep.TransactionsChecked < 10 {
+		t.Fatalf("transactions checked = %d", rep.TransactionsChecked)
+	}
+	_ = lt
+}
+
+// --- Invariant 1: digests vs blocks -------------------------------------
+
+func TestInvariant1DigestMismatch(t *testing.T) {
+	l := openTestLedger(t, 4)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	d := seedAccounts(t, l, lt, 6)
+	// Overwrite the digest's block row in storage.
+	key := sqltypes.EncodeKey(nil, sqltypes.NewBigInt(int64(d.BlockID)))
+	err := l.Engine().TamperUpdateRow(l.sysTx2BlocksTable(), key, func(r sqltypes.Row) sqltypes.Row {
+		r[3] = sqltypes.NewBigInt(r[3].Int() + 1) // transaction_count
+		return r
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyFails(t, l, []Digest{d}, 1)
+	_ = lt
+}
+
+// sysTx2BlocksTable exposes the blocks system table to tests.
+func (l *LedgerDB) sysTx2BlocksTable() *engine.Table { return l.sysBlocks }
+
+func TestInvariant1DigestForMissingBlock(t *testing.T) {
+	l := openTestLedger(t, 100)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	d := seedAccounts(t, l, lt, 2)
+	d.BlockID += 10
+	verifyFails(t, l, []Digest{d}, 1)
+	_ = lt
+}
+
+func TestInvariant1BadDigestHashString(t *testing.T) {
+	l := openTestLedger(t, 100)
+	mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	tx := l.Begin("u")
+	lt, _ := l.LedgerTable("accounts")
+	tx.Insert(lt, account("a", 1))
+	mustCommit(t, tx)
+	d, _ := l.GenerateDigest()
+	d.Hash = "not-hex"
+	verifyFails(t, l, []Digest{d}, 1)
+}
+
+// --- Invariant 2: block chain -------------------------------------------
+
+func TestInvariant2BrokenChain(t *testing.T) {
+	l := openTestLedger(t, 2)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 8)
+	// Tamper with a middle block: its recomputed hash no longer matches
+	// the next block's previous_block_hash.
+	key := sqltypes.EncodeKey(nil, sqltypes.NewBigInt(1))
+	err := l.Engine().TamperUpdateRow(l.sysBlocks, key, func(r sqltypes.Row) sqltypes.Row {
+		b := append([]byte(nil), r[2].Bytes...)
+		b[0] ^= 0xFF
+		r[2] = sqltypes.NewBinary(b)
+		return r
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyFails(t, l, nil, 2)
+	_ = lt
+}
+
+func TestInvariant2MissingBlock(t *testing.T) {
+	l := openTestLedger(t, 2)
+	mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	lt, _ := l.LedgerTable("accounts")
+	seedAccounts(t, l, lt, 8)
+	key := sqltypes.EncodeKey(nil, sqltypes.NewBigInt(1))
+	if err := l.Engine().TamperDeleteRow(l.sysBlocks, key, true); err != nil {
+		t.Fatal(err)
+	}
+	verifyFails(t, l, nil, 2)
+	_ = lt
+}
+
+// --- Invariant 3: block transaction roots --------------------------------
+
+func TestInvariant3TamperedTransactionEntry(t *testing.T) {
+	l := openTestLedger(t, 4)
+	mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	lt, _ := l.LedgerTable("accounts")
+	seedAccounts(t, l, lt, 6)
+	l.Checkpoint() // drain the queue so entries live in the system table
+	key := firstKeyOf(t, l.sysTx)
+	err := l.Engine().TamperUpdateRow(l.sysTx, key, func(r sqltypes.Row) sqltypes.Row {
+		r[4] = sqltypes.NewNVarChar("mallory") // rewrite the principal
+		return r
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyFails(t, l, nil, 3)
+	_ = lt
+}
+
+func TestInvariant3DeletedTransactionEntry(t *testing.T) {
+	l := openTestLedger(t, 4)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 6)
+	l.Checkpoint()
+	key := firstKeyOf(t, l.sysTx)
+	if err := l.Engine().TamperDeleteRow(l.sysTx, key, true); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting an entry breaks the block root (inv 3) and orphans the
+	// table's row versions (inv 4).
+	rep := verifyFails(t, l, nil, 3)
+	found4 := false
+	for _, i := range rep.Issues {
+		if i.Invariant == 4 {
+			found4 = true
+		}
+	}
+	if !found4 {
+		t.Fatalf("expected an invariant-4 issue too:\n%s", rep)
+	}
+}
+
+// --- Invariant 4: table row versions -------------------------------------
+
+func TestInvariant4TamperedLedgerRow(t *testing.T) {
+	l := openTestLedger(t, 100)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 5)
+	key := firstKeyOf(t, lt.Table())
+	err := l.Engine().TamperUpdateRow(lt.Table(), key, func(r sqltypes.Row) sqltypes.Row {
+		r[1] = sqltypes.NewBigInt(1_000_000)
+		return r
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verifyFails(t, l, nil, 4)
+	if !strings.Contains(rep.String(), "accounts") {
+		t.Fatalf("issue should name the table:\n%s", rep)
+	}
+}
+
+func TestInvariant4TamperedHistoryRow(t *testing.T) {
+	l := openTestLedger(t, 100)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 3)
+	tx := l.Begin("u")
+	tx.Update(lt, account(acctName(0), 777))
+	mustCommit(t, tx)
+	key := firstKeyOf(t, lt.History())
+	err := l.Engine().TamperUpdateRow(lt.History(), key, func(r sqltypes.Row) sqltypes.Row {
+		r[1] = sqltypes.NewBigInt(42) // rewrite the historical balance
+		return r
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyFails(t, l, nil, 4)
+}
+
+func TestInvariant4DeletedHistoryRow(t *testing.T) {
+	l := openTestLedger(t, 100)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 3)
+	tx := l.Begin("u")
+	tx.Delete(lt, sqltypes.NewNVarChar(acctName(1)))
+	mustCommit(t, tx)
+	key := firstKeyOf(t, lt.History())
+	if err := l.Engine().TamperDeleteRow(lt.History(), key, true); err != nil {
+		t.Fatal(err)
+	}
+	verifyFails(t, l, nil, 4)
+}
+
+func TestInvariant4DeletedLedgerRow(t *testing.T) {
+	l := openTestLedger(t, 100)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 4)
+	key := firstKeyOf(t, lt.Table())
+	if err := l.Engine().TamperDeleteRow(lt.Table(), key, true); err != nil {
+		t.Fatal(err)
+	}
+	verifyFails(t, l, nil, 4)
+}
+
+func TestInvariant4InjectedRow(t *testing.T) {
+	l := openTestLedger(t, 100)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 3)
+	// Inject a row referencing a transaction that never existed.
+	full := sqltypes.Row{
+		sqltypes.NewNVarChar("mallory"), sqltypes.NewBigInt(1 << 50),
+		sqltypes.NewBigInt(999999), sqltypes.NewBigInt(1),
+		sqltypes.NewNull(sqltypes.TypeBigInt), sqltypes.NewNull(sqltypes.TypeBigInt),
+	}
+	if _, err := l.Engine().TamperInsertRow(lt.Table(), full, true); err != nil {
+		t.Fatal(err)
+	}
+	verifyFails(t, l, nil, 4)
+}
+
+func TestInvariant4MetadataTypeSwap(t *testing.T) {
+	// The §3.2 attack end-to-end: flip a column's declared type without
+	// touching values.
+	l := openTestLedger(t, 100)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 3)
+	if err := l.Engine().TamperColumnType(lt.Table(), "balance", sqltypes.TypeInt); err != nil {
+		t.Fatal(err)
+	}
+	verifyFails(t, l, nil, 4)
+}
+
+// --- Invariant 5: nonclustered indexes ------------------------------------
+
+func TestInvariant5IndexDesync(t *testing.T) {
+	l := openTestLedger(t, 100)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	if _, err := l.Engine().CreateIndex("accounts", "ix_balance", "balance"); err != nil {
+		t.Fatal(err)
+	}
+	seedAccounts(t, l, lt, 5)
+	verifyOK(t, l, nil)
+	// An attacker rewrites the base row but not the index.
+	key := firstKeyOf(t, lt.Table())
+	err := l.Engine().TamperUpdateRow(lt.Table(), key, func(r sqltypes.Row) sqltypes.Row {
+		r[1] = sqltypes.NewBigInt(31337)
+		return r
+	}, false /* leave indexes stale */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.Verify(nil, VerifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has4, has5 := false, false
+	for _, i := range rep.Issues {
+		switch i.Invariant {
+		case 4:
+			has4 = true
+		case 5:
+			has5 = true
+		}
+	}
+	if !has4 || !has5 {
+		t.Fatalf("want invariants 4 and 5 flagged:\n%s", rep)
+	}
+}
+
+func TestInvariant5IndexEntryTamper(t *testing.T) {
+	l := openTestLedger(t, 100)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	ix, err := l.Engine().CreateIndex("accounts", "ix_balance", "balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAccounts(t, l, lt, 5)
+	var entryKey []byte
+	lt.Table().ScanIndex(ix, func(ek, _ []byte) bool {
+		entryKey = append([]byte(nil), ek...)
+		return false
+	})
+	if err := l.Engine().TamperIndexEntry(lt.Table(), ix, entryKey, []byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	verifyFails(t, l, nil, 5)
+}
+
+// --- View definitions -----------------------------------------------------
+
+func TestViewDefinitionTamper(t *testing.T) {
+	l := openTestLedger(t, 100)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 2)
+	key := sqltypes.EncodeKey(nil, sqltypes.NewBigInt(int64(lt.ID())))
+	err := l.Engine().TamperUpdateRow(l.sysViews, key, func(r sqltypes.Row) sqltypes.Row {
+		r[1] = sqltypes.NewNVarChar("CREATE VIEW accounts_ledger AS SELECT 'fooled you'")
+		return r
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyFails(t, l, nil, 0)
+}
+
+// --- Scoped verification ---------------------------------------------------
+
+func TestVerifySubsetOfTables(t *testing.T) {
+	l := openTestLedger(t, 100)
+	a := mustLedgerTable(t, l, "table_a", engine.LedgerUpdateable)
+	b, err := l.CreateLedgerTable("table_b", accountsSchema(), engine.LedgerUpdateable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := l.Begin("u")
+	tx.Insert(a, account("x", 1))
+	tx.Insert(b, account("y", 2))
+	mustCommit(t, tx)
+
+	// Tamper with table_b only.
+	key := firstKeyOf(t, b.Table())
+	l.Engine().TamperUpdateRow(b.Table(), key, func(r sqltypes.Row) sqltypes.Row {
+		r[1] = sqltypes.NewBigInt(999)
+		return r
+	}, true)
+
+	// Scoped to table_a: passes. Scoped to table_b: fails.
+	repA, err := l.Verify(nil, VerifyOptions{Tables: []string{"table_a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repA.Ok() {
+		t.Fatalf("table_a verification should pass:\n%s", repA)
+	}
+	if repA.TablesChecked != 1 {
+		t.Fatalf("tables checked = %d", repA.TablesChecked)
+	}
+	repB, err := l.Verify(nil, VerifyOptions{Tables: []string{"table_b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repB.Ok() {
+		t.Fatalf("table_b verification should fail")
+	}
+}
+
+// --- Digest derivation / fork detection ------------------------------------
+
+func TestDigestDerivation(t *testing.T) {
+	l := openTestLedger(t, 2)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	d1 := seedAccounts(t, l, lt, 4)
+	tx := l.Begin("u")
+	tx.Insert(lt, account("late", 1))
+	mustCommit(t, tx)
+	d2, err := l.GenerateDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.BlockID <= d1.BlockID {
+		t.Fatalf("expected a later block: %d <= %d", d2.BlockID, d1.BlockID)
+	}
+	if err := l.VerifyDigestDerivation(d1, d2); err != nil {
+		t.Fatalf("derivation should hold: %v", err)
+	}
+	if err := l.VerifyDigestDerivation(d2, d1); err == nil {
+		t.Fatal("reversed derivation accepted")
+	}
+}
+
+func TestDigestForkDetected(t *testing.T) {
+	l := openTestLedger(t, 2)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	d1 := seedAccounts(t, l, lt, 4)
+	// Fork: overwrite an old block (rewriting history), then extend.
+	key := sqltypes.EncodeKey(nil, sqltypes.NewBigInt(int64(d1.BlockID)))
+	err := l.Engine().TamperUpdateRow(l.sysBlocks, key, func(r sqltypes.Row) sqltypes.Row {
+		b := append([]byte(nil), r[2].Bytes...)
+		b[5] ^= 0x01
+		r[2] = sqltypes.NewBinary(b)
+		return r
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := l.Begin("u")
+	tx.Insert(lt, account("fork", 1))
+	mustCommit(t, tx)
+	d2, err := l.GenerateDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.VerifyDigestDerivation(d1, d2); err == nil {
+		t.Fatal("fork not detected by digest derivation check")
+	}
+}

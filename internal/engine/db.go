@@ -1,0 +1,564 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sqlledger/internal/sqltypes"
+	"sqlledger/internal/wal"
+)
+
+// LedgerHook is how internal/core attaches ledger processing to the
+// engine's commit path, checkpointer and recovery, mirroring the
+// extension points the paper describes in §3.3.2.
+type LedgerHook interface {
+	// OnCommit runs inside the commit critical section for transactions
+	// that updated ledger tables. It must assign the transaction to a
+	// block and return its block id and ordinal; the engine embeds the
+	// resulting entry in the COMMIT log record.
+	OnCommit(txID uint64, commitTS int64, user string, roots []wal.TableRoot) (blockID uint64, ordinal uint32)
+	// BeforeSnapshot runs under full quiescence just before a snapshot is
+	// written; the core drains the in-memory ledger queue into the system
+	// tables here so the snapshot captures it.
+	BeforeSnapshot()
+	// StateBlob returns opaque ledger state persisted inside snapshots.
+	StateBlob() []byte
+	// LoadState hands back the blob from the snapshot being recovered
+	// (nil when recovering without a snapshot).
+	LoadState(blob []byte) error
+	// Recovered delivers the ledger entries of all committed transactions
+	// replayed from the log, in commit order, for queue reconstruction.
+	Recovered(entries []*wal.LedgerEntry)
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the database directory (WAL + snapshots).
+	Dir string
+	// Sync selects the WAL durability mode.
+	Sync wal.SyncMode
+	// LockTimeout bounds row-lock waits (deadlock resolution); default 2s.
+	LockTimeout time.Duration
+	// Hook, if set, receives ledger callbacks.
+	Hook LedgerHook
+}
+
+// DB is an embedded relational database.
+type DB struct {
+	opts Options
+
+	mu     sync.RWMutex // guards catalog and tables map
+	cat    *catalog
+	tables map[uint32]*Table
+
+	log   *wal.Log
+	locks *lockTable
+
+	// commitMu serializes the commit critical section (timestamp + block
+	// assignment + WAL append).
+	commitMu     sync.Mutex
+	lastCommitTS int64
+
+	// quiesce: commits and DDL hold RLock; checkpoint/restore hold Lock.
+	quiesce sync.RWMutex
+
+	checkpointLSN int64
+	closed        bool
+}
+
+const walFileName = "wal.log"
+
+// Open opens (creating if necessary) the database in opts.Dir, running
+// crash recovery: load the latest snapshot, then redo committed
+// transactions from the WAL, then hand recovered ledger entries to the
+// hook for queue reconstruction.
+func Open(opts Options) (*DB, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("engine: Options.Dir is required")
+	}
+	if opts.LockTimeout == 0 {
+		opts.LockTimeout = 2 * time.Second
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: mkdir: %w", err)
+	}
+	log, err := wal.Open(filepath.Join(opts.Dir, walFileName), opts.Sync)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		opts:   opts,
+		cat:    newCatalog(),
+		tables: make(map[uint32]*Table),
+		log:    log,
+		locks:  newLockTable(),
+	}
+	if err := db.recover(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Close flushes and closes the database. In-flight transactions must be
+// finished first.
+func (db *DB) Close() error {
+	db.quiesce.Lock()
+	defer db.quiesce.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	return db.log.Close()
+}
+
+// Dir returns the database directory.
+func (db *DB) Dir() string { return db.opts.Dir }
+
+// LogSize returns the current WAL size in bytes.
+func (db *DB) LogSize() int64 { return db.log.Size() }
+
+// LastCommitTS returns the commit timestamp (unix nanoseconds) of the most
+// recently committed transaction.
+func (db *DB) LastCommitTS() int64 {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	return db.lastCommitTS
+}
+
+// Table returns the runtime table for a (non-dropped) name.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m := db.cat.tableByName(name)
+	if m == nil {
+		return nil, fmt.Errorf("engine: table %q not found", name)
+	}
+	return db.tables[m.ID], nil
+}
+
+// TableByID returns the runtime table for an id, including dropped tables
+// (verification still processes them, §3.5.2).
+func (db *DB) TableByID(id uint32) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[id]
+	if !ok {
+		return nil, fmt.Errorf("engine: table id %d not found", id)
+	}
+	return t, nil
+}
+
+// Tables returns all runtime tables (including dropped and system tables),
+// ordered by id.
+func (db *DB) Tables() []*Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].meta.ID < out[j].meta.ID })
+	return out
+}
+
+// Begin starts a transaction on behalf of user.
+func (db *DB) Begin(user string) *Tx {
+	db.mu.Lock()
+	id := db.cat.NextTxID
+	db.cat.NextTxID++
+	db.mu.Unlock()
+	return &Tx{
+		db:       db,
+		id:       id,
+		user:     user,
+		overlays: make(map[uint32]*overlay),
+		locks:    make(map[lockKey]struct{}),
+	}
+}
+
+// Commit atomically applies and durably logs the transaction. If the
+// transaction carries ledger roots and a hook is configured, the ledger
+// entry is built inside the commit critical section and embedded in the
+// COMMIT record (§3.3.2). Returns the commit timestamp.
+func (db *DB) Commit(tx *Tx) (int64, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	if len(tx.writes) == 0 {
+		// Read-only: nothing to log or apply.
+		tx.done = true
+		tx.releaseLocks()
+		return db.LastCommitTS(), nil
+	}
+	db.quiesce.RLock()
+	defer db.quiesce.RUnlock()
+
+	// Build the WAL batch outside the critical section.
+	recs := make([]wal.Record, 0, len(tx.writes)+1)
+	for _, w := range tx.writes {
+		recs = append(recs, wal.Record{
+			Type:    w.typ,
+			TxID:    tx.id,
+			Payload: wal.EncodeDML(w.typ, wal.DMLPayload{TableID: w.tableID, Key: w.key, Before: w.before, After: w.after}),
+		})
+	}
+
+	db.commitMu.Lock()
+	now := time.Now().UnixNano()
+	if now <= db.lastCommitTS {
+		now = db.lastCommitTS + 1
+	}
+	db.lastCommitTS = now
+
+	var entry *wal.LedgerEntry
+	if len(tx.Roots) > 0 && db.opts.Hook != nil {
+		blockID, ordinal := db.opts.Hook.OnCommit(tx.id, now, tx.user, tx.Roots)
+		entry = &wal.LedgerEntry{
+			TxID:     tx.id,
+			BlockID:  blockID,
+			Ordinal:  ordinal,
+			CommitTS: now,
+			User:     tx.user,
+			Roots:    tx.Roots,
+		}
+	}
+	recs = append(recs, wal.Record{
+		Type:    wal.RecCommit,
+		TxID:    tx.id,
+		Payload: wal.EncodeCommit(wal.CommitPayload{CommitTS: now, User: tx.user, Entry: entry}),
+	})
+	_, err := db.log.AppendBatch(recs)
+	db.commitMu.Unlock()
+	if err != nil {
+		// Known limitation: if the log write fails (disk full, I/O error)
+		// after the ledger hook assigned a block position, that ordinal
+		// is burned; the block will fail to close and verification will
+		// flag the gap. This mirrors the paper's stance that the ledger
+		// surfaces inconsistencies rather than papering over them — a
+		// real deployment treats log-write failure as fail-stop.
+		return 0, fmt.Errorf("engine: commit log: %w", err)
+	}
+
+	// Apply to shared storage while still holding row locks, so
+	// conflicting transactions observe this one fully.
+	db.applyWrites(tx.writes)
+	tx.done = true
+	tx.releaseLocks()
+	return now, nil
+}
+
+// applyWrites installs a committed write set into the tables, grouping
+// consecutive ops per table to amortize locking.
+func (db *DB) applyWrites(writes []writeOp) {
+	i := 0
+	for i < len(writes) {
+		tid := writes[i].tableID
+		j := i
+		for j < len(writes) && writes[j].tableID == tid {
+			j++
+		}
+		db.mu.RLock()
+		t := db.tables[tid]
+		db.mu.RUnlock()
+		t.mu.Lock()
+		for _, w := range writes[i:j] {
+			var err error
+			switch w.typ {
+			case wal.RecInsert:
+				err = t.applyInsertLocked(w.key, w.after)
+			case wal.RecDelete:
+				err = t.applyDeleteLocked(w.key)
+			case wal.RecUpdate:
+				err = t.applyUpdateLocked(w.key, w.after)
+			}
+			if err != nil {
+				// Row locks make apply conflicts impossible; a failure here
+				// means engine-internal corruption.
+				t.mu.Unlock()
+				panic(fmt.Sprintf("engine: apply failed: %v", err))
+			}
+		}
+		t.mu.Unlock()
+		i = j
+	}
+}
+
+// --- DDL -------------------------------------------------------------
+
+// CreateTableSpec describes a new table.
+type CreateTableSpec struct {
+	Name   string
+	Schema *sqltypes.Schema
+	System bool
+	Ledger LedgerKind
+}
+
+// CreateTable creates a table and logs the DDL.
+func (db *DB) CreateTable(spec CreateTableSpec) (*Table, error) {
+	db.quiesce.RLock()
+	defer db.quiesce.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.cat.tableByName(spec.Name) != nil {
+		return nil, fmt.Errorf("engine: table %q already exists", spec.Name)
+	}
+	meta := &TableMeta{
+		ID:     db.cat.NextTableID,
+		Name:   spec.Name,
+		Schema: spec.Schema.Clone(),
+		Heap:   len(spec.Schema.Key) == 0,
+		System: spec.System,
+		Ledger: spec.Ledger,
+	}
+	db.cat.NextTableID++
+	db.cat.Tables[meta.ID] = meta
+	t := newTable(meta)
+	db.tables[meta.ID] = t
+	if err := db.logDDL(ddlOp{Kind: "create_table", Meta: meta}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// AlterTableMeta applies an arbitrary catalog mutation to a table and logs
+// the resulting metadata. If the schema gained columns, existing rows are
+// widened with NULLs. Used by the ledger core for add/drop column, drop
+// table (rename) and history-table linkage.
+func (db *DB) AlterTableMeta(tableID uint32, mutate func(*TableMeta) error) error {
+	db.quiesce.RLock()
+	defer db.quiesce.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableID]
+	if !ok {
+		return fmt.Errorf("engine: table id %d not found", tableID)
+	}
+	if err := mutate(t.meta); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.widenRowsLocked()
+	t.mu.Unlock()
+	return db.logDDL(ddlOp{Kind: "alter_table", Meta: t.meta})
+}
+
+// CreateIndex creates a nonclustered index over the named columns and
+// builds it from the current table contents.
+func (db *DB) CreateIndex(tableName, indexName string, colNames ...string) (*Index, error) {
+	db.quiesce.RLock()
+	defer db.quiesce.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m := db.cat.tableByName(tableName)
+	if m == nil {
+		return nil, fmt.Errorf("engine: table %q not found", tableName)
+	}
+	for _, im := range db.cat.Indexes {
+		if strings.EqualFold(im.Name, indexName) {
+			return nil, fmt.Errorf("engine: index %q already exists", indexName)
+		}
+	}
+	cols := make([]int, len(colNames))
+	for i, cn := range colNames {
+		ord := m.Schema.OrdinalOf(cn)
+		if ord < 0 {
+			return nil, fmt.Errorf("engine: column %q not found in %s", cn, tableName)
+		}
+		cols[i] = ord
+	}
+	im := &IndexMeta{ID: db.cat.NextIndexID, Name: indexName, TableID: m.ID, Cols: cols}
+	db.cat.NextIndexID++
+	db.cat.Indexes[im.ID] = im
+	t := db.tables[m.ID]
+	ix := &Index{meta: im}
+	t.mu.Lock()
+	t.buildIndexLocked(ix)
+	t.indexes = append(t.indexes, ix)
+	t.mu.Unlock()
+	if err := db.logDDL(ddlOp{Kind: "create_index", Index: im}); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// DropIndex removes a nonclustered index. Index drops are physical schema
+// changes and do not affect ledger hashes (§3.5).
+func (db *DB) DropIndex(indexName string) error {
+	db.quiesce.RLock()
+	defer db.quiesce.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var im *IndexMeta
+	for _, cand := range db.cat.Indexes {
+		if strings.EqualFold(cand.Name, indexName) {
+			im = cand
+			break
+		}
+	}
+	if im == nil {
+		return fmt.Errorf("engine: index %q not found", indexName)
+	}
+	delete(db.cat.Indexes, im.ID)
+	t := db.tables[im.TableID]
+	t.mu.Lock()
+	for i, ix := range t.indexes {
+		if ix.meta.ID == im.ID {
+			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+			break
+		}
+	}
+	t.mu.Unlock()
+	return db.logDDL(ddlOp{Kind: "drop_index", Index: im})
+}
+
+// logDDL appends a DDL record. Caller holds db.mu.
+func (db *DB) logDDL(op ddlOp) error {
+	_, err := db.log.Append(wal.RecDDL, 0, wal.EncodeDDL(wal.DDLPayload{Kind: op.Kind, Body: op.marshal()}))
+	if err != nil {
+		return fmt.Errorf("engine: log ddl: %w", err)
+	}
+	return db.log.Flush()
+}
+
+// applyDDL replays a catalog mutation during recovery.
+func (db *DB) applyDDL(op ddlOp) error {
+	switch op.Kind {
+	case "create_table":
+		db.cat.Tables[op.Meta.ID] = op.Meta
+		if op.Meta.ID >= db.cat.NextTableID {
+			db.cat.NextTableID = op.Meta.ID + 1
+		}
+		db.tables[op.Meta.ID] = newTable(op.Meta)
+	case "alter_table":
+		db.cat.Tables[op.Meta.ID] = op.Meta
+		t, ok := db.tables[op.Meta.ID]
+		if !ok {
+			return fmt.Errorf("engine: alter_table for unknown table %d", op.Meta.ID)
+		}
+		t.meta = op.Meta
+		t.mu.Lock()
+		t.widenRowsLocked()
+		t.mu.Unlock()
+	case "create_index":
+		db.cat.Indexes[op.Index.ID] = op.Index
+		if op.Index.ID >= db.cat.NextIndexID {
+			db.cat.NextIndexID = op.Index.ID + 1
+		}
+		t, ok := db.tables[op.Index.TableID]
+		if !ok {
+			return fmt.Errorf("engine: create_index for unknown table %d", op.Index.TableID)
+		}
+		ix := &Index{meta: op.Index}
+		t.mu.Lock()
+		t.buildIndexLocked(ix)
+		t.indexes = append(t.indexes, ix)
+		t.mu.Unlock()
+	case "drop_index":
+		delete(db.cat.Indexes, op.Index.ID)
+		t, ok := db.tables[op.Index.TableID]
+		if ok {
+			t.mu.Lock()
+			for i, ix := range t.indexes {
+				if ix.meta.ID == op.Index.ID {
+					t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+					break
+				}
+			}
+			t.mu.Unlock()
+		}
+	default:
+		return fmt.Errorf("engine: unknown ddl kind %q", op.Kind)
+	}
+	return nil
+}
+
+// --- Recovery ---------------------------------------------------------
+
+// recover loads the newest snapshot and replays the WAL from its LSN,
+// applying only committed transactions (redo); buffered operations of
+// transactions without a COMMIT record are discarded (losers never reach
+// shared storage in this engine, so no undo pass is needed).
+func (db *DB) recover() error {
+	snapLSN, err := db.loadLatestSnapshot()
+	if err != nil {
+		return err
+	}
+	db.checkpointLSN = snapLSN
+
+	reader, err := wal.NewReader(filepath.Join(db.opts.Dir, walFileName), snapLSN, db.log.Size())
+	if err != nil {
+		return err
+	}
+	defer reader.Close()
+
+	pending := make(map[uint64][]writeOp)
+	var entries []*wal.LedgerEntry
+	maxTx := uint64(0)
+	for {
+		rec, err := reader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("engine: recovery read: %w", err)
+		}
+		if rec.TxID > maxTx {
+			maxTx = rec.TxID
+		}
+		switch rec.Type {
+		case wal.RecInsert, wal.RecDelete, wal.RecUpdate:
+			p, err := wal.DecodeDML(rec.Type, rec.Payload)
+			if err != nil {
+				return fmt.Errorf("engine: recovery dml: %w", err)
+			}
+			pending[rec.TxID] = append(pending[rec.TxID], writeOp{
+				typ: rec.Type, tableID: p.TableID, key: p.Key, before: p.Before, after: p.After,
+			})
+		case wal.RecCommit:
+			p, err := wal.DecodeCommit(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("engine: recovery commit: %w", err)
+			}
+			db.applyWrites(pending[rec.TxID])
+			delete(pending, rec.TxID)
+			if p.CommitTS > db.lastCommitTS {
+				db.lastCommitTS = p.CommitTS
+			}
+			if p.Entry != nil {
+				entries = append(entries, p.Entry)
+			}
+		case wal.RecAbort:
+			delete(pending, rec.TxID)
+		case wal.RecDDL:
+			p, err := wal.DecodeDDL(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("engine: recovery ddl: %w", err)
+			}
+			op, err := unmarshalDDL(p.Body)
+			if err != nil {
+				return err
+			}
+			if err := db.applyDDL(op); err != nil {
+				return err
+			}
+		case wal.RecCheckpoint, wal.RecBegin:
+			// Informational during redo.
+		default:
+			return fmt.Errorf("engine: recovery: unknown record type %d", rec.Type)
+		}
+	}
+	if maxTx >= db.cat.NextTxID {
+		db.cat.NextTxID = maxTx + 1
+	}
+	if db.opts.Hook != nil {
+		db.opts.Hook.Recovered(entries)
+	}
+	return nil
+}

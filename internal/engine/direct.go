@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+
+	"sqlledger/internal/sqltypes"
+)
+
+// Direct storage access. Two very different callers use this path:
+//
+//   - The ledger core's checkpoint-time queue drain (§3.3.2): runs under
+//     full quiescence, bypasses the WAL because the snapshot written
+//     immediately afterwards persists the effect, and recovery from any
+//     older snapshot reconstructs the same entries from COMMIT records.
+//
+//   - Tamper simulation for tests, examples and the verification
+//     benchmarks: models the paper's threat model (§2.5.2) where an
+//     attacker edits database files in storage, bypassing all engine
+//     checks and leaving no log trace.
+
+// DirectInsert installs a row bypassing transactions and the WAL. For heap
+// tables a RID is assigned. Returns the clustered key.
+func (db *DB) DirectInsert(t *Table, row sqltypes.Row) ([]byte, error) {
+	if err := t.meta.Schema.Validate(row); err != nil {
+		return nil, err
+	}
+	var key []byte
+	if t.meta.Heap {
+		key = t.allocRID()
+	} else {
+		key = t.keyFor(row)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return key, t.applyInsertLocked(key, row)
+}
+
+// TamperUpdateRow overwrites the stored bytes of a row in place, bypassing
+// every engine and ledger check — the storage-level attack of §2.5.2.
+// When updateIndexes is false, nonclustered indexes keep their old entries
+// (an attacker editing data pages typically would not fix up indexes),
+// which verification invariant 5 detects.
+func (db *DB) TamperUpdateRow(t *Table, key []byte, mutate func(sqltypes.Row) sqltypes.Row, updateIndexes bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows.Get(key)
+	if !ok {
+		return fmt.Errorf("%w: tamper target", ErrNotFound)
+	}
+	next := mutate(old.Clone())
+	if updateIndexes {
+		return t.applyUpdateLocked(key, next)
+	}
+	t.rows.Put(key, next)
+	return nil
+}
+
+// TamperDeleteRow removes a row bypassing all checks.
+func (db *DB) TamperDeleteRow(t *Table, key []byte, updateIndexes bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if updateIndexes {
+		return t.applyDeleteLocked(key)
+	}
+	if _, ok := t.rows.Delete(key); !ok {
+		return fmt.Errorf("%w: tamper target", ErrNotFound)
+	}
+	return nil
+}
+
+// TamperInsertRow injects a row bypassing all checks.
+func (db *DB) TamperInsertRow(t *Table, row sqltypes.Row, updateIndexes bool) ([]byte, error) {
+	var key []byte
+	if t.meta.Heap {
+		key = t.allocRID()
+	} else {
+		key = t.keyFor(row)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if updateIndexes {
+		return key, t.applyInsertLocked(key, row)
+	}
+	t.rows.Put(key, row)
+	t.noteRIDLocked(key)
+	return key, nil
+}
+
+// TamperInsertRowAt injects a row under an explicit clustered key (heaps
+// included), bypassing all checks. The tamper-repair path (§3.7) uses it
+// to reinstate deleted rows under their original keys.
+func (db *DB) TamperInsertRowAt(t *Table, key []byte, row sqltypes.Row, updateIndexes bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if updateIndexes {
+		return t.applyInsertLocked(key, row)
+	}
+	t.rows.Put(key, row)
+	t.noteRIDLocked(key)
+	return nil
+}
+
+// TamperColumnType rewrites the declared type of a column in the catalog
+// without touching stored values — the metadata attack from §3.2 that the
+// serialization format is designed to detect.
+func (db *DB) TamperColumnType(t *Table, colName string, newType sqltypes.TypeID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ord := t.meta.Schema.OrdinalOf(colName)
+	if ord < 0 {
+		return fmt.Errorf("engine: column %q not found", colName)
+	}
+	t.meta.Schema.Columns[ord].Type = newType
+	return nil
+}
+
+// TamperIndexEntry overwrites the clustered-key pointer of an index entry,
+// desynchronizing the index from the base table (detected by invariant 5).
+func (db *DB) TamperIndexEntry(t *Table, ix *Index, entryKey, newClusteredKey []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := ix.tree.Get(entryKey); !ok {
+		return fmt.Errorf("%w: index entry", ErrNotFound)
+	}
+	ix.tree.Put(entryKey, newClusteredKey)
+	return nil
+}

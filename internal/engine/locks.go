@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrLockTimeout is returned when a row lock cannot be acquired within the
+// configured wait budget; callers should abort the transaction (the
+// engine's deadlock resolution strategy is wait-timeout).
+var ErrLockTimeout = errors.New("engine: lock wait timeout")
+
+const lockShards = 128
+
+// lockTable implements row-level exclusive locks keyed by (table, key),
+// sharded to reduce contention. Locks are held until transaction end
+// (strict two-phase locking on writes).
+type lockTable struct {
+	shards [lockShards]lockShard
+}
+
+type lockShard struct {
+	mu sync.Mutex
+	m  map[lockKey]*rowLock
+}
+
+type lockKey struct {
+	table uint32
+	key   string
+}
+
+type rowLock struct {
+	owner uint64
+	// released is closed when the lock is freed, waking waiters.
+	released chan struct{}
+}
+
+func newLockTable() *lockTable {
+	lt := &lockTable{}
+	for i := range lt.shards {
+		lt.shards[i].m = make(map[lockKey]*rowLock)
+	}
+	return lt
+}
+
+func (lt *lockTable) shard(k lockKey) *lockShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(k.key); i++ {
+		h = (h ^ uint32(k.key[i])) * 16777619
+	}
+	h ^= k.table * 2654435761
+	return &lt.shards[h%lockShards]
+}
+
+// acquire takes the exclusive lock on (table, key) for owner, waiting up
+// to timeout. Re-acquisition by the current owner succeeds immediately.
+func (lt *lockTable) acquire(owner uint64, table uint32, key []byte, timeout time.Duration) error {
+	k := lockKey{table: table, key: string(key)}
+	s := lt.shard(k)
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		l, ok := s.m[k]
+		if !ok {
+			s.m[k] = &rowLock{owner: owner, released: make(chan struct{})}
+			s.mu.Unlock()
+			return nil
+		}
+		if l.owner == owner {
+			s.mu.Unlock()
+			return nil
+		}
+		ch := l.released
+		s.mu.Unlock()
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return ErrLockTimeout
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return ErrLockTimeout
+		}
+	}
+}
+
+// release frees the lock on (table, key) if owner holds it.
+func (lt *lockTable) release(owner uint64, table uint32, key string) {
+	k := lockKey{table: table, key: key}
+	s := lt.shard(k)
+	s.mu.Lock()
+	if l, ok := s.m[k]; ok && l.owner == owner {
+		delete(s.m, k)
+		close(l.released)
+	}
+	s.mu.Unlock()
+}

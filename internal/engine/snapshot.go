@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"sqlledger/internal/sqltypes"
+	"sqlledger/internal/wal"
+)
+
+// Snapshot file layout (all integers little-endian):
+//
+//	magic "SQLLSNP1"
+//	u64 lastCommitTS
+//	section catalog-JSON
+//	section ledger-state-blob
+//	u32 tableCount, then per table:
+//	    u32 tableID, u64 rowCount, then per row: section key, section row
+//	u32 CRC32C of everything before it
+//
+// where section = u32 length + bytes. Snapshots are written to a temp file
+// and renamed into place, so a crash mid-checkpoint leaves the previous
+// snapshot intact.
+
+const snapMagic = "SQLLSNP1"
+
+// Checkpoint quiesces the database, lets the ledger hook drain its queue
+// into the system tables, writes a transaction-consistent snapshot, and
+// appends a CHECKPOINT record (§3.3.2). It returns the LSN the snapshot
+// covers. Old snapshots and the WAL are retained to support point-in-time
+// restore.
+func (db *DB) Checkpoint() (int64, error) {
+	db.quiesce.Lock()
+	defer db.quiesce.Unlock()
+	if db.closed {
+		return 0, fmt.Errorf("engine: database closed")
+	}
+	if db.opts.Hook != nil {
+		db.opts.Hook.BeforeSnapshot()
+	}
+	if err := db.log.Flush(); err != nil {
+		return 0, err
+	}
+	snapLSN := db.log.Size()
+
+	var blob []byte
+	if db.opts.Hook != nil {
+		blob = db.opts.Hook.StateBlob()
+	}
+	if err := db.writeSnapshot(snapLSN, blob); err != nil {
+		return 0, err
+	}
+	_, err := db.log.Append(wal.RecCheckpoint, 0, wal.EncodeCheckpoint(wal.CheckpointPayload{
+		SnapshotLSN: snapLSN,
+		WallTS:      time.Now().UnixNano(),
+	}))
+	if err != nil {
+		return 0, err
+	}
+	if err := db.log.Flush(); err != nil {
+		return 0, err
+	}
+	db.checkpointLSN = snapLSN
+	return snapLSN, nil
+}
+
+func snapPath(dir string, lsn int64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", lsn))
+}
+
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, castagnoliSnap, p)
+	return cw.w.Write(p)
+}
+
+var castagnoliSnap = crc32.MakeTable(crc32.Castagnoli)
+
+func writeSection(w io.Writer, b []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func (db *DB) writeSnapshot(lsn int64, ledgerBlob []byte) error {
+	tmp := snapPath(db.opts.Dir, lsn) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("engine: snapshot create: %w", err)
+	}
+	defer func() {
+		f.Close()
+		os.Remove(tmp)
+	}()
+	cw := &crcWriter{w: bufio.NewWriterSize(f, 1<<20)}
+	if _, err := cw.Write([]byte(snapMagic)); err != nil {
+		return err
+	}
+	var tsBuf [8]byte
+	binary.LittleEndian.PutUint64(tsBuf[:], uint64(db.lastCommitTS))
+	if _, err := cw.Write(tsBuf[:]); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	catJSON, err := db.cat.marshal()
+	ids := make([]uint32, 0, len(db.tables))
+	for id := range db.tables {
+		ids = append(ids, id)
+	}
+	db.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if err := writeSection(cw, catJSON); err != nil {
+		return err
+	}
+	if err := writeSection(cw, ledgerBlob); err != nil {
+		return err
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(ids)))
+	if _, err := cw.Write(cnt[:]); err != nil {
+		return err
+	}
+	rowBuf := make([]byte, 0, 1024)
+	for _, id := range ids {
+		db.mu.RLock()
+		t := db.tables[id]
+		db.mu.RUnlock()
+		var hdr [12]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], id)
+		binary.LittleEndian.PutUint64(hdr[4:12], uint64(t.RowCount()))
+		if _, err := cw.Write(hdr[:]); err != nil {
+			return err
+		}
+		var scanErr error
+		t.Scan(func(k []byte, r sqltypes.Row) bool {
+			if scanErr = writeSection(cw, k); scanErr != nil {
+				return false
+			}
+			rowBuf = sqltypes.EncodeRow(rowBuf[:0], r)
+			if scanErr = writeSection(cw, rowBuf); scanErr != nil {
+				return false
+			}
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.crc)
+	if _, err := cw.w.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	if err := cw.w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, snapPath(db.opts.Dir, lsn))
+}
+
+// loadLatestSnapshot finds and loads the newest valid snapshot, returning
+// the LSN recovery should replay from (0 when starting empty). A corrupt
+// newest snapshot falls back to the next older one.
+func (db *DB) loadLatestSnapshot() (int64, error) {
+	matches, err := filepath.Glob(filepath.Join(db.opts.Dir, "snap-*.snap"))
+	if err != nil {
+		return 0, err
+	}
+	type cand struct {
+		path string
+		lsn  int64
+	}
+	var cands []cand
+	for _, m := range matches {
+		var lsn int64
+		if _, err := fmt.Sscanf(filepath.Base(m), "snap-%016x.snap", &lsn); err == nil {
+			cands = append(cands, cand{m, lsn})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lsn > cands[j].lsn })
+	for _, c := range cands {
+		if err := db.loadSnapshot(c.path); err != nil {
+			// Fall back to an older snapshot; replay covers the gap.
+			continue
+		}
+		return c.lsn, nil
+	}
+	// No usable snapshot: start from an empty catalog.
+	db.cat = newCatalog()
+	db.tables = make(map[uint32]*Table)
+	if db.opts.Hook != nil {
+		if err := db.opts.Hook.LoadState(nil); err != nil {
+			return 0, err
+		}
+	}
+	return 0, nil
+}
+
+func readSection(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (db *DB) loadSnapshot(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) < len(snapMagic)+12 || string(raw[:len(snapMagic)]) != snapMagic {
+		return fmt.Errorf("engine: bad snapshot header in %s", path)
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.Checksum(body, castagnoliSnap) != binary.LittleEndian.Uint32(tail) {
+		return fmt.Errorf("engine: snapshot CRC mismatch in %s", path)
+	}
+	r := bufio.NewReader(bytes.NewReader(body[len(snapMagic):]))
+	var tsBuf [8]byte
+	if _, err := io.ReadFull(r, tsBuf[:]); err != nil {
+		return err
+	}
+	lastTS := int64(binary.LittleEndian.Uint64(tsBuf[:]))
+	catJSON, err := readSection(r)
+	if err != nil {
+		return err
+	}
+	blob, err := readSection(r)
+	if err != nil {
+		return err
+	}
+	cat, err := unmarshalCatalog(catJSON)
+	if err != nil {
+		return err
+	}
+	tables := make(map[uint32]*Table, len(cat.Tables))
+	for id, meta := range cat.Tables {
+		tables[id] = newTable(meta)
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return err
+	}
+	nTables := binary.LittleEndian.Uint32(cnt[:])
+	for i := uint32(0); i < nTables; i++ {
+		var hdr [12]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return err
+		}
+		id := binary.LittleEndian.Uint32(hdr[0:4])
+		rows := binary.LittleEndian.Uint64(hdr[4:12])
+		t, ok := tables[id]
+		if !ok {
+			return fmt.Errorf("engine: snapshot has rows for unknown table %d", id)
+		}
+		for j := uint64(0); j < rows; j++ {
+			key, err := readSection(r)
+			if err != nil {
+				return err
+			}
+			rowb, err := readSection(r)
+			if err != nil {
+				return err
+			}
+			row, _, err := sqltypes.DecodeRow(rowb)
+			if err != nil {
+				return err
+			}
+			t.rows.Put(key, row)
+			t.noteRIDLocked(key)
+		}
+	}
+	// Rebuild nonclustered indexes from base data.
+	for _, im := range cat.Indexes {
+		t, ok := tables[im.TableID]
+		if !ok {
+			return fmt.Errorf("engine: index %d references unknown table %d", im.ID, im.TableID)
+		}
+		ix := &Index{meta: im}
+		t.buildIndexLocked(ix)
+		t.indexes = append(t.indexes, ix)
+	}
+	if db.opts.Hook != nil {
+		if err := db.opts.Hook.LoadState(blob); err != nil {
+			return err
+		}
+	}
+	db.cat = cat
+	db.tables = tables
+	db.lastCommitTS = lastTS
+	return nil
+}

@@ -1,0 +1,258 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"sqlledger/internal/btree"
+	"sqlledger/internal/sqltypes"
+)
+
+// Table is the runtime state of one table: clustered row storage plus any
+// nonclustered indexes. mu guards the trees; DML goes through transactions
+// (tx.go) which apply at commit, while system operations (ledger queue
+// drain, recovery redo, tamper simulation) use the applyDirect path.
+type Table struct {
+	meta *TableMeta
+
+	mu      sync.RWMutex
+	rows    *btree.Tree[sqltypes.Row]
+	indexes []*Index
+	nextRID uint64 // heap row-id allocator; guarded by mu
+}
+
+// Index is the runtime state of a nonclustered index. Entries map the
+// encoded index key (index columns followed by the clustered key, making
+// every entry unique) to the clustered key of the base row.
+type Index struct {
+	meta *IndexMeta
+	tree *btree.Tree[[]byte]
+}
+
+// Meta returns the index metadata.
+func (ix *Index) Meta() IndexMeta { return *ix.meta }
+
+func newTable(meta *TableMeta) *Table {
+	return &Table{meta: meta, rows: btree.New[sqltypes.Row]()}
+}
+
+// Meta returns a copy of the table's catalog entry.
+func (t *Table) Meta() TableMeta { return *t.meta }
+
+// ID returns the table id.
+func (t *Table) ID() uint32 { return t.meta.ID }
+
+// Name returns the current table name.
+func (t *Table) Name() string { return t.meta.Name }
+
+// Schema returns the table schema (shared; callers must not mutate).
+func (t *Table) Schema() *sqltypes.Schema { return t.meta.Schema }
+
+// RowCount returns the number of rows.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows.Len()
+}
+
+// keyFor computes the clustered key bytes of a row; for heaps the caller
+// must have assigned a RID (allocRID).
+func (t *Table) keyFor(r sqltypes.Row) []byte {
+	return sqltypes.EncodeRowKey(t.meta.Schema, r)
+}
+
+// allocRID returns the next heap row identifier as key bytes.
+func (t *Table) allocRID() []byte {
+	t.mu.Lock()
+	t.nextRID++
+	rid := t.nextRID
+	t.mu.Unlock()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], rid)
+	return b[:]
+}
+
+// noteRID advances the RID allocator past a key observed during recovery
+// or snapshot load. Caller holds mu.
+func (t *Table) noteRIDLocked(key []byte) {
+	if !t.meta.Heap || len(key) != 8 {
+		return
+	}
+	rid := binary.BigEndian.Uint64(key)
+	if rid > t.nextRID {
+		t.nextRID = rid
+	}
+}
+
+// get returns the committed row stored under key.
+func (t *Table) get(key []byte) (sqltypes.Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows.Get(key)
+}
+
+// Lookup returns the committed row stored under key, outside any
+// transaction (read-committed point read).
+func (t *Table) Lookup(key []byte) (sqltypes.Row, bool) {
+	return t.get(key)
+}
+
+// applyInsert installs a row under key, maintaining indexes. Caller must
+// hold mu. Returns an error if the key already exists.
+func (t *Table) applyInsertLocked(key []byte, row sqltypes.Row) error {
+	if _, exists := t.rows.Get(key); exists {
+		return fmt.Errorf("%w: table %s", ErrDuplicateKey, t.meta.Name)
+	}
+	t.rows.Put(key, row)
+	t.noteRIDLocked(key)
+	for _, ix := range t.indexes {
+		ix.tree.Put(ix.entryKey(key, row), key)
+	}
+	return nil
+}
+
+// applyDeleteLocked removes the row under key. Caller must hold mu.
+func (t *Table) applyDeleteLocked(key []byte) error {
+	old, ok := t.rows.Delete(key)
+	if !ok {
+		return fmt.Errorf("%w: table %s", ErrNotFound, t.meta.Name)
+	}
+	for _, ix := range t.indexes {
+		ix.tree.Delete(ix.entryKey(key, old))
+	}
+	return nil
+}
+
+// applyUpdateLocked replaces the row under key. Caller must hold mu.
+func (t *Table) applyUpdateLocked(key []byte, row sqltypes.Row) error {
+	old, replaced := t.rows.Put(key, row)
+	if !replaced {
+		t.rows.Delete(key)
+		return fmt.Errorf("%w: table %s", ErrNotFound, t.meta.Name)
+	}
+	for _, ix := range t.indexes {
+		oldEnt := ix.entryKey(key, old)
+		newEnt := ix.entryKey(key, row)
+		if string(oldEnt) != string(newEnt) {
+			ix.tree.Delete(oldEnt)
+			ix.tree.Put(newEnt, key)
+		}
+	}
+	return nil
+}
+
+// EntryKey recomputes the entry key an index should hold for a base-table
+// row; verification uses it to check index/base equivalence (invariant 5).
+func (ix *Index) EntryKey(clusteredKey []byte, row sqltypes.Row) []byte {
+	return ix.entryKey(clusteredKey, row)
+}
+
+// entryKey builds the index entry key: indexed column values followed by
+// the clustered key for uniqueness.
+func (ix *Index) entryKey(clusteredKey []byte, row sqltypes.Row) []byte {
+	vals := make([]sqltypes.Value, len(ix.meta.Cols))
+	for i, ord := range ix.meta.Cols {
+		vals[i] = row[ord]
+	}
+	key := sqltypes.EncodeKey(make([]byte, 0, 64), vals...)
+	return append(key, clusteredKey...)
+}
+
+// Scan iterates committed rows in clustered-key order while holding the
+// table read lock. fn returning false stops the scan.
+func (t *Table) Scan(fn func(key []byte, row sqltypes.Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.rows.Ascend(fn)
+}
+
+// ScanRange iterates committed rows with start <= key < end.
+func (t *Table) ScanRange(start, end []byte, fn func(key []byte, row sqltypes.Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.rows.AscendRange(start, end, fn)
+}
+
+// Indexes returns the table's nonclustered indexes.
+func (t *Table) Indexes() []*Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]*Index(nil), t.indexes...)
+}
+
+// ScanIndex iterates an index in index-key order, passing the base-table
+// clustered key of each entry.
+func (t *Table) ScanIndex(ix *Index, fn func(entryKey, clusteredKey []byte) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix.tree.Ascend(fn)
+}
+
+// LookupIndexPrefix iterates base-table rows whose indexed columns equal
+// the given values (an index point lookup).
+func (t *Table) LookupIndexPrefix(ix *Index, vals []sqltypes.Value, fn func(key []byte, row sqltypes.Row) bool) {
+	prefix := sqltypes.EncodeKey(nil, vals...)
+	end := prefixEnd(prefix)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix.tree.AscendRange(prefix, end, func(_ []byte, ck []byte) bool {
+		row, ok := t.rows.Get(ck)
+		if !ok {
+			return true // index/base divergence is surfaced by verification
+		}
+		return fn(ck, row)
+	})
+}
+
+// PrefixRange returns the clustered-key range [start, end) covering every
+// key whose leading components equal vals (end nil = to the maximum key).
+func PrefixRange(vals ...sqltypes.Value) (start, end []byte) {
+	start = sqltypes.EncodeKey(nil, vals...)
+	return start, prefixEnd(start)
+}
+
+// prefixEnd returns the smallest key greater than every key with the given
+// prefix, or nil if none exists.
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+// widenRowsLocked extends stored rows with NULLs when the schema gains
+// columns (add-column DDL). Caller must hold mu and have updated meta.
+func (t *Table) widenRowsLocked() {
+	want := len(t.meta.Schema.Columns)
+	var keys [][]byte
+	var rows []sqltypes.Row
+	t.rows.Ascend(func(k []byte, r sqltypes.Row) bool {
+		if len(r) < want {
+			keys = append(keys, k)
+			nr := make(sqltypes.Row, want)
+			copy(nr, r)
+			for i := len(r); i < want; i++ {
+				nr[i] = sqltypes.NewNull(t.meta.Schema.Columns[i].Type)
+			}
+			rows = append(rows, nr)
+		}
+		return true
+	})
+	for i, k := range keys {
+		t.rows.Put(k, rows[i])
+	}
+}
+
+// buildIndexLocked (re)builds an index from the base table. Caller holds mu.
+func (t *Table) buildIndexLocked(ix *Index) {
+	ix.tree = btree.New[[]byte]()
+	t.rows.Ascend(func(k []byte, r sqltypes.Row) bool {
+		ix.tree.Put(ix.entryKey(k, r), k)
+		return true
+	})
+}

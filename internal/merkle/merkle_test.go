@@ -1,0 +1,263 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func leaves(n int, seed int64) []Hash {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Hash, n)
+	for i := range out {
+		rng.Read(out[i][:])
+	}
+	return out
+}
+
+func TestEmptyTreeRoot(t *testing.T) {
+	var s Streaming
+	if got := s.Root(); !got.IsZero() {
+		t.Fatalf("empty tree root = %s, want zero", got)
+	}
+	if RootOf(nil) != ZeroHash {
+		t.Fatalf("RootOf(nil) should be zero")
+	}
+}
+
+func TestSingleLeafRootIsLeaf(t *testing.T) {
+	l := HashLeaf([]byte("x"))
+	var s Streaming
+	s.Append(l)
+	if s.Root() != l {
+		t.Fatalf("single-leaf root must be the leaf (promotion rule)")
+	}
+}
+
+// referenceRoot builds the tree level by level, promoting odd nodes, as
+// the paper defines — an independent implementation to check Streaming.
+func referenceRoot(ls []Hash) Hash {
+	if len(ls) == 0 {
+		return ZeroHash
+	}
+	level := append([]Hash(nil), ls...)
+	for len(level) > 1 {
+		var next []Hash
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, combine(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func TestStreamingMatchesReference(t *testing.T) {
+	for n := 0; n <= 70; n++ {
+		ls := leaves(n, int64(n))
+		var s Streaming
+		for _, l := range ls {
+			s.Append(l)
+		}
+		if s.Root() != referenceRoot(ls) {
+			t.Fatalf("streaming root mismatch at n=%d", n)
+		}
+		if s.Count() != uint64(n) {
+			t.Fatalf("count = %d, want %d", s.Count(), n)
+		}
+	}
+}
+
+func TestStreamingMatchesReferenceQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw % 1000)
+		ls := leaves(n, seed)
+		var s Streaming
+		for _, l := range ls {
+			s.Append(l)
+		}
+		return s.Root() == referenceRoot(ls) && RootOf(ls) == s.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootIsIncrementalNotConsuming(t *testing.T) {
+	ls := leaves(10, 1)
+	var s Streaming
+	for i, l := range ls {
+		s.Append(l)
+		if got, want := s.Root(), referenceRoot(ls[:i+1]); got != want {
+			t.Fatalf("root after %d appends = %s, want %s", i+1, got, want)
+		}
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	ls := leaves(37, 2)
+	var s Streaming
+	for _, l := range ls[:20] {
+		s.Append(l)
+	}
+	snap := s.Snapshot()
+	rootAt20 := s.Root()
+	for _, l := range ls[20:] {
+		s.Append(l)
+	}
+	if s.Root() == rootAt20 {
+		t.Fatalf("root should change after more appends")
+	}
+	s.Restore(snap)
+	if s.Root() != rootAt20 || s.Count() != 20 {
+		t.Fatalf("restore did not bring back the snapshot state")
+	}
+	// Appending after restore must behave as if the later leaves never
+	// happened.
+	s.Append(ls[20])
+	if s.Root() != referenceRoot(ls[:21]) {
+		t.Fatalf("appends after restore diverge from reference")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	var s Streaming
+	s.Append(HashLeaf([]byte("a")))
+	snap := s.Snapshot()
+	s.Append(HashLeaf([]byte("b")))
+	var s2 Streaming
+	s2.Restore(snap)
+	if s2.Count() != 1 {
+		t.Fatalf("snapshot mutated by later appends")
+	}
+}
+
+func TestNestedSavepointPattern(t *testing.T) {
+	ls := leaves(9, 3)
+	var s Streaming
+	s.Append(ls[0])
+	sp1 := s.Snapshot()
+	s.Append(ls[1])
+	sp2 := s.Snapshot()
+	s.Append(ls[2])
+	s.Restore(sp2)
+	s.Append(ls[3])
+	s.Restore(sp1)
+	s.Append(ls[4])
+	if s.Root() != referenceRoot([]Hash{ls[0], ls[4]}) {
+		t.Fatalf("nested savepoint rollback produced wrong tree")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Streaming
+	s.Append(HashLeaf([]byte("a")))
+	s.Reset()
+	if s.Count() != 0 || !s.Root().IsZero() {
+		t.Fatalf("reset did not clear the tree")
+	}
+}
+
+func TestProofAllPositions(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		ls := leaves(n, int64(100+n))
+		root := RootOf(ls)
+		for i := 0; i < n; i++ {
+			p, err := BuildProof(ls, uint64(i))
+			if err != nil {
+				t.Fatalf("BuildProof(n=%d,i=%d): %v", n, i, err)
+			}
+			if !p.Verify(root, ls[i]) {
+				t.Fatalf("proof failed for n=%d i=%d", n, i)
+			}
+		}
+	}
+}
+
+func TestProofRejectsWrongLeaf(t *testing.T) {
+	ls := leaves(17, 5)
+	root := RootOf(ls)
+	p, _ := BuildProof(ls, 4)
+	if p.Verify(root, ls[5]) {
+		t.Fatalf("proof verified a different leaf")
+	}
+	var bad Hash
+	if p.Verify(root, bad) {
+		t.Fatalf("proof verified a zero leaf")
+	}
+}
+
+func TestProofRejectsWrongRoot(t *testing.T) {
+	ls := leaves(9, 6)
+	p, _ := BuildProof(ls, 2)
+	other := RootOf(leaves(9, 7))
+	if p.Verify(other, ls[2]) {
+		t.Fatalf("proof verified against a different root")
+	}
+}
+
+func TestProofRejectsTamperedSiblings(t *testing.T) {
+	ls := leaves(12, 8)
+	root := RootOf(ls)
+	p, _ := BuildProof(ls, 3)
+	if len(p.Siblings) == 0 {
+		t.Fatalf("expected siblings")
+	}
+	p.Siblings[0][0] ^= 0xFF
+	if p.Verify(root, ls[3]) {
+		t.Fatalf("proof verified with a corrupted sibling")
+	}
+}
+
+func TestProofOutOfRange(t *testing.T) {
+	ls := leaves(3, 9)
+	if _, err := BuildProof(ls, 3); err == nil {
+		t.Fatalf("expected error for out-of-range index")
+	}
+	p := Proof{Index: 5, LeafCount: 3}
+	if p.Verify(RootOf(ls), ls[0]) {
+		t.Fatalf("out-of-range proof must not verify")
+	}
+}
+
+func TestProofQuick(t *testing.T) {
+	f := func(seed int64, nRaw, iRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		i := uint64(iRaw) % uint64(n)
+		ls := leaves(n, seed)
+		p, err := BuildProof(ls, i)
+		if err != nil {
+			return false
+		}
+		return p.Verify(RootOf(ls), ls[i])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHash(t *testing.T) {
+	h := HashLeaf([]byte("hello"))
+	got, err := ParseHash(h.String())
+	if err != nil || got != h {
+		t.Fatalf("ParseHash roundtrip failed: %v", err)
+	}
+	if _, err := ParseHash("zz"); err == nil {
+		t.Fatalf("expected error for bad hex")
+	}
+	if _, err := ParseHash("abcd"); err == nil {
+		t.Fatalf("expected error for short hash")
+	}
+}
+
+func BenchmarkStreamingAppend(b *testing.B) {
+	l := HashLeaf([]byte("leaf"))
+	var s Streaming
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Append(l)
+	}
+}

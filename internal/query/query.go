@@ -1,0 +1,321 @@
+// Package query implements a small volcano-style query-operator layer
+// over engine tables: scans, filters, projections, sorts, hash joins
+// (inner and left), window LAG access and grouped aggregation.
+//
+// SQL Ledger's verification is expressed through the database's own query
+// processor (§3.4.2): the row serialization/hashing logic is exposed as
+// the LEDGERHASH intrinsic and the Merkle root computation as the
+// MERKLETREEAGG aggregate, and the five invariants become queries over the
+// ledger, history and system tables. This package provides those operators
+// and functions; internal/core builds the verification plans from them.
+package query
+
+import (
+	"sort"
+
+	"sqlledger/internal/engine"
+	"sqlledger/internal/merkle"
+	"sqlledger/internal/sqltypes"
+)
+
+// Iterator is the volcano-model operator interface: Next returns the next
+// row, or false when the stream is exhausted.
+type Iterator interface {
+	Next() (sqltypes.Row, bool)
+}
+
+// Collect drains an iterator into a slice.
+func Collect(it Iterator) []sqltypes.Row {
+	var out []sqltypes.Row
+	for {
+		r, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// --- Sources ----------------------------------------------------------------
+
+type sliceIter struct {
+	rows []sqltypes.Row
+	pos  int
+}
+
+func (s *sliceIter) Next() (sqltypes.Row, bool) {
+	if s.pos >= len(s.rows) {
+		return nil, false
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Values returns an iterator over a literal relation (the OPENJSON
+// analogue: verification turns the input digest array into a relation).
+func Values(rows []sqltypes.Row) Iterator { return &sliceIter{rows: rows} }
+
+// Scan returns an iterator over a table in clustered-key order. The scan
+// materializes under the table read lock, so the iterator sees a
+// consistent snapshot.
+func Scan(t *engine.Table) Iterator {
+	var rows []sqltypes.Row
+	t.Scan(func(_ []byte, r sqltypes.Row) bool {
+		rows = append(rows, r)
+		return true
+	})
+	return &sliceIter{rows: rows}
+}
+
+// --- Row transforms -----------------------------------------------------------
+
+type filterIter struct {
+	in   Iterator
+	pred func(sqltypes.Row) bool
+}
+
+func (f *filterIter) Next() (sqltypes.Row, bool) {
+	for {
+		r, ok := f.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if f.pred(r) {
+			return r, true
+		}
+	}
+}
+
+// Filter keeps rows satisfying pred.
+func Filter(in Iterator, pred func(sqltypes.Row) bool) Iterator {
+	return &filterIter{in: in, pred: pred}
+}
+
+type projectIter struct {
+	in Iterator
+	fn func(sqltypes.Row) sqltypes.Row
+}
+
+func (p *projectIter) Next() (sqltypes.Row, bool) {
+	r, ok := p.in.Next()
+	if !ok {
+		return nil, false
+	}
+	return p.fn(r), true
+}
+
+// Project maps each row through fn (computed columns, scalar functions —
+// LEDGERHASH appears here as a fn producing a VARBINARY hash column).
+func Project(in Iterator, fn func(sqltypes.Row) sqltypes.Row) Iterator {
+	return &projectIter{in: in, fn: fn}
+}
+
+// Sort materializes the input and sorts it by the given column ordinals.
+func Sort(in Iterator, by ...int) Iterator {
+	rows := Collect(in)
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, ord := range by {
+			if c := rows[i][ord].Compare(rows[j][ord]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return &sliceIter{rows: rows}
+}
+
+// Lag pairs every row with its predecessor (NULL-padded for the first
+// row), the SQL LAG window function the chain-verification query uses:
+// the output row is prev ++ current.
+func Lag(in Iterator, arity int) Iterator {
+	rows := Collect(in)
+	out := make([]sqltypes.Row, len(rows))
+	for i, r := range rows {
+		prev := make(sqltypes.Row, arity)
+		if i == 0 {
+			for j := range prev {
+				prev[j] = sqltypes.NewNull(sqltypes.TypeVarBinary)
+			}
+		} else {
+			copy(prev, rows[i-1])
+		}
+		out[i] = append(append(sqltypes.Row{}, prev...), r...)
+	}
+	return &sliceIter{rows: out}
+}
+
+// --- Joins ---------------------------------------------------------------------
+
+// JoinKind selects inner or left-outer semantics.
+type JoinKind int
+
+// Join kinds.
+const (
+	InnerJoin JoinKind = iota
+	// LeftJoin emits unmatched left rows padded with NULLs of the right
+	// arity (rightArity must be provided).
+	LeftJoin
+)
+
+// HashJoin joins left and right on equality of the key columns given by
+// leftKey/rightKey ordinals. Output rows are left ++ right. For LeftJoin,
+// rightArity gives the padding width for unmatched left rows.
+func HashJoin(left, right Iterator, leftKey, rightKey []int, kind JoinKind, rightArity int) Iterator {
+	build := make(map[string][]sqltypes.Row)
+	for {
+		r, ok := right.Next()
+		if !ok {
+			break
+		}
+		build[keyOf(r, rightKey)] = append(build[keyOf(r, rightKey)], r)
+	}
+	var out []sqltypes.Row
+	for {
+		l, ok := left.Next()
+		if !ok {
+			break
+		}
+		matches := build[keyOf(l, leftKey)]
+		if len(matches) == 0 {
+			if kind == LeftJoin {
+				pad := make(sqltypes.Row, rightArity)
+				for i := range pad {
+					pad[i] = sqltypes.NewNull(sqltypes.TypeVarBinary)
+				}
+				out = append(out, append(append(sqltypes.Row{}, l...), pad...))
+			}
+			continue
+		}
+		for _, m := range matches {
+			out = append(out, append(append(sqltypes.Row{}, l...), m...))
+		}
+	}
+	return &sliceIter{rows: out}
+}
+
+func keyOf(r sqltypes.Row, ords []int) string {
+	return string(sqltypes.EncodeKey(nil, pick(r, ords)...))
+}
+
+func pick(r sqltypes.Row, ords []int) []sqltypes.Value {
+	out := make([]sqltypes.Value, len(ords))
+	for i, o := range ords {
+		out[i] = r[o]
+	}
+	return out
+}
+
+// --- Aggregation ------------------------------------------------------------------
+
+// Aggregate accumulates rows of a group and produces a value.
+type Aggregate interface {
+	Add(sqltypes.Row)
+	Result() sqltypes.Value
+	// Clone returns a fresh accumulator of the same kind.
+	Clone() Aggregate
+}
+
+// GroupBy groups the input by the key ordinals and emits, per group, the
+// key values followed by each aggregate's result. Input order within a
+// group is preserved (MERKLETREEAGG is order-sensitive, so callers Sort
+// first, exactly as the verification queries ORDER BY ordinal/sequence).
+func GroupBy(in Iterator, key []int, aggs ...Aggregate) Iterator {
+	type group struct {
+		key  []sqltypes.Value
+		accs []Aggregate
+	}
+	order := make([]string, 0, 16)
+	groups := make(map[string]*group)
+	for {
+		r, ok := in.Next()
+		if !ok {
+			break
+		}
+		k := keyOf(r, key)
+		g := groups[k]
+		if g == nil {
+			g = &group{key: pick(r, key), accs: make([]Aggregate, len(aggs))}
+			for i, a := range aggs {
+				g.accs[i] = a.Clone()
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for _, a := range g.accs {
+			a.Add(r)
+		}
+	}
+	rows := make([]sqltypes.Row, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		row := append(sqltypes.Row{}, g.key...)
+		for _, a := range g.accs {
+			row = append(row, a.Result())
+		}
+		rows = append(rows, row)
+	}
+	return &sliceIter{rows: rows}
+}
+
+// MerkleTreeAgg is the MERKLETREEAGG aggregate function (§3.4.2): it
+// consumes a VARBINARY hash column (by ordinal) in input order and
+// produces the Merkle tree root over those hashes.
+type MerkleTreeAgg struct {
+	HashCol int
+	tree    merkle.Streaming
+}
+
+// Add implements Aggregate.
+func (m *MerkleTreeAgg) Add(r sqltypes.Row) {
+	var h merkle.Hash
+	copy(h[:], r[m.HashCol].Bytes)
+	m.tree.Append(h)
+}
+
+// Result implements Aggregate.
+func (m *MerkleTreeAgg) Result() sqltypes.Value {
+	root := m.tree.Root()
+	return sqltypes.NewVarBinary(append([]byte(nil), root[:]...))
+}
+
+// Clone implements Aggregate.
+func (m *MerkleTreeAgg) Clone() Aggregate { return &MerkleTreeAgg{HashCol: m.HashCol} }
+
+// CountAgg counts rows in the group.
+type CountAgg struct{ n int64 }
+
+// Add implements Aggregate.
+func (c *CountAgg) Add(sqltypes.Row) { c.n++ }
+
+// Result implements Aggregate.
+func (c *CountAgg) Result() sqltypes.Value { return sqltypes.NewBigInt(c.n) }
+
+// Clone implements Aggregate.
+func (c *CountAgg) Clone() Aggregate { return &CountAgg{} }
+
+// MaxAgg tracks the maximum of a column.
+type MaxAgg struct {
+	Col int
+	cur *sqltypes.Value
+}
+
+// Add implements Aggregate.
+func (m *MaxAgg) Add(r sqltypes.Row) {
+	v := r[m.Col]
+	if m.cur == nil || m.cur.Compare(v) < 0 {
+		c := v.Clone()
+		m.cur = &c
+	}
+}
+
+// Result implements Aggregate.
+func (m *MaxAgg) Result() sqltypes.Value {
+	if m.cur == nil {
+		return sqltypes.NewNull(sqltypes.TypeBigInt)
+	}
+	return *m.cur
+}
+
+// Clone implements Aggregate.
+func (m *MaxAgg) Clone() Aggregate { return &MaxAgg{Col: m.Col} }

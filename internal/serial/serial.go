@@ -1,0 +1,131 @@
+// Package serial implements the canonical row serialization format that
+// feeds SHA-256 row hashing (§3.2 of the SQL Ledger paper).
+//
+// The format deliberately includes column *metadata* — the number of
+// non-NULL columns, and for each one its catalog ordinal, type id and
+// declared length/precision/scale — alongside the value bytes. As the
+// paper explains with its INT/SMALLINT example, hashing values alone would
+// let an attacker tamper with table metadata and change how the stored
+// bytes are interpreted without changing the hash; binding the metadata
+// into the hash closes that attack.
+//
+// NULL values are skipped entirely (their ordinals simply do not appear),
+// which is what makes adding a nullable column hash-compatible with rows
+// written before the column existed (§3.5.1); explicit ordinals for the
+// non-NULL columns prevent the NULL-remapping attack described there.
+package serial
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"sqlledger/internal/merkle"
+	"sqlledger/internal/sqltypes"
+)
+
+// Version identifies the serialization format version and is bound into
+// every serialized row.
+const Version byte = 1
+
+// OpType tags which ledger operation a serialized row version represents.
+// The tag domain-separates the two hashes a row version can produce: the
+// hash recorded when the version is created (insert) and the hash recorded
+// when it is deleted (delete / the "before" half of an update).
+type OpType byte
+
+// Operation types.
+const (
+	OpInsert OpType = 1
+	OpDelete OpType = 2
+)
+
+// String names the operation the way ledger views report it.
+func (o OpType) String() string {
+	switch o {
+	case OpInsert:
+		return "INSERT"
+	case OpDelete:
+		return "DELETE"
+	}
+	return fmt.Sprintf("OP(%d)", byte(o))
+}
+
+// SerializeRow appends the canonical serialization of row r under schema s
+// to dst. skip, if non-nil, excludes columns by ordinal: the ledger core
+// uses it to exclude the end-transaction system columns when computing a
+// version's insert-time hash (they were NULL when the version was
+// created). Columns whose value is NULL are always excluded.
+func SerializeRow(dst []byte, s *sqltypes.Schema, r sqltypes.Row, op OpType, skip func(ordinal int) bool) []byte {
+	dst = append(dst, Version, byte(op))
+	// Count the columns that participate.
+	n := 0
+	for i, v := range r {
+		if v.Null || (skip != nil && skip(i)) {
+			continue
+		}
+		n++
+	}
+	dst = binary.AppendUvarint(dst, uint64(n))
+	for i, v := range r {
+		if v.Null || (skip != nil && skip(i)) {
+			continue
+		}
+		c := s.Columns[i]
+		dst = binary.AppendUvarint(dst, uint64(c.Ordinal))
+		dst = append(dst, byte(c.Type))
+		dst = binary.AppendUvarint(dst, uint64(c.Len))
+		dst = binary.AppendUvarint(dst, uint64(c.Prec))
+		dst = binary.AppendUvarint(dst, uint64(c.Scale))
+		dst = appendValue(dst, v)
+	}
+	return dst
+}
+
+func appendValue(dst []byte, v sqltypes.Value) []byte {
+	switch {
+	case v.Type == sqltypes.TypeFloat:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(v.F64))
+		dst = binary.AppendUvarint(dst, 8)
+		return append(dst, b[:]...)
+	case v.Type.IsString():
+		dst = binary.AppendUvarint(dst, uint64(len(v.Str)))
+		return append(dst, v.Str...)
+	case v.Type.IsBytes():
+		dst = binary.AppendUvarint(dst, uint64(len(v.Bytes)))
+		return append(dst, v.Bytes...)
+	default:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v.I64))
+		dst = binary.AppendUvarint(dst, 8)
+		return append(dst, b[:]...)
+	}
+}
+
+// bufPool recycles serialization buffers: HashRow sits on the hot path of
+// every ledger DML operation.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// HashRow is the LEDGERHASH analogue: it serializes the row and returns
+// its SHA-256 hash.
+func HashRow(s *sqltypes.Schema, r sqltypes.Row, op OpType, skip func(ordinal int) bool) merkle.Hash {
+	bp := bufPool.Get().(*[]byte)
+	buf := SerializeRow((*bp)[:0], s, r, op, skip)
+	h := merkle.HashLeaf(buf)
+	*bp = buf
+	bufPool.Put(bp)
+	return h
+}
+
+// HashBytes hashes an arbitrary canonical byte string (used for block
+// headers and transaction entries, which have their own fixed layouts).
+func HashBytes(parts ...[]byte) merkle.Hash {
+	var buf []byte
+	for _, p := range parts {
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		buf = append(buf, p...)
+	}
+	return merkle.HashLeaf(buf)
+}

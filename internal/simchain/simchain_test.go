@@ -1,0 +1,104 @@
+package simchain
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fastConfig() Config {
+	return Config{
+		Nodes:              4,
+		EndorsementLatency: 100 * time.Microsecond,
+		ConsensusLatency:   2 * time.Millisecond,
+		ValidationPerTx:    10 * time.Microsecond,
+		BlockCutSize:       10,
+		BlockCutInterval:   5 * time.Millisecond,
+	}
+}
+
+func TestSubmitCommits(t *testing.T) {
+	c := New(fastConfig())
+	defer c.Stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 25; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.Submit([]byte(fmt.Sprintf("tx-%d", i))); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	blocks := c.Blocks()
+	total := 0
+	for _, b := range blocks {
+		total += b.TxCount
+	}
+	if total != 25 {
+		t.Fatalf("committed %d txs, want 25", total)
+	}
+	if !c.VerifyChain() {
+		t.Fatal("chain does not verify")
+	}
+}
+
+func TestChainLinks(t *testing.T) {
+	c := New(fastConfig())
+	defer c.Stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Submit([]byte{byte(i)})
+		}(i)
+	}
+	wg.Wait()
+	blocks := c.Blocks()
+	if len(blocks) < 2 {
+		t.Skipf("only %d blocks; need 2+ to check links", len(blocks))
+	}
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].PrevHash != blocks[i-1].Hash {
+			t.Fatalf("link broken at block %d", i)
+		}
+		if blocks[i].Number != blocks[i-1].Number+1 {
+			t.Fatalf("numbering broken at block %d", i)
+		}
+	}
+}
+
+func TestLatencyReflectsConsensus(t *testing.T) {
+	cfg := fastConfig()
+	cfg.ConsensusLatency = 30 * time.Millisecond
+	cfg.BlockCutInterval = 10 * time.Millisecond
+	c := New(cfg)
+	defer c.Stop()
+	start := time.Now()
+	if err := c.Submit([]byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < cfg.ConsensusLatency {
+		t.Fatalf("end-to-end latency %v below consensus latency %v", d, cfg.ConsensusLatency)
+	}
+}
+
+func TestStopRejectsNewWork(t *testing.T) {
+	c := New(fastConfig())
+	c.Stop()
+	time.Sleep(10 * time.Millisecond)
+	if err := c.Submit([]byte("late")); err != ErrClosed {
+		t.Fatalf("submit after stop: %v", err)
+	}
+	c.Stop() // idempotent
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Nodes < 2 || cfg.BlockCutSize < 1 || cfg.ConsensusLatency <= 0 {
+		t.Fatalf("default config degenerate: %+v", cfg)
+	}
+}

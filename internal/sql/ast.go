@@ -1,0 +1,135 @@
+package sql
+
+import "sqlledger/internal/sqltypes"
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColumnDef is one column in a CREATE TABLE.
+type ColumnDef struct {
+	Name     string
+	Type     sqltypes.TypeID
+	Len      int
+	Prec     int
+	Scale    int
+	Nullable bool
+}
+
+// CreateTable is CREATE TABLE name (cols..., PRIMARY KEY (a, b))
+// [WITH (LEDGER = ON [, APPEND_ONLY = ON])].
+type CreateTable struct {
+	Name       string
+	Columns    []ColumnDef
+	PrimaryKey []string
+	Ledger     bool
+	AppendOnly bool
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+// AlterAddColumn is ALTER TABLE t ADD [COLUMN] c TYPE NULL.
+type AlterAddColumn struct {
+	Table  string
+	Column ColumnDef
+}
+
+// AlterDropColumn is ALTER TABLE t DROP COLUMN c.
+type AlterDropColumn struct {
+	Table  string
+	Column string
+}
+
+// CreateIndex is CREATE INDEX name ON table (cols...).
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+}
+
+// Literal is a parsed literal value (typed lazily against the schema).
+type Literal struct {
+	IsNull   bool
+	IsString bool
+	IsBool   bool
+	Bool     bool
+	Text     string // number or string payload
+}
+
+// Insert is INSERT INTO t [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table   string
+	Columns []string // empty = all visible columns
+	Rows    [][]Literal
+}
+
+// Condition is "col op literal"; Where clauses are conjunctions of these.
+type Condition struct {
+	Column string
+	Op     string // = <> < > <= >=
+	Value  Literal
+}
+
+// Update is UPDATE t SET c = v, ... [WHERE ...].
+type Update struct {
+	Table string
+	Set   []struct {
+		Column string
+		Value  Literal
+	}
+	Where []Condition
+}
+
+// Delete is DELETE FROM t [WHERE ...].
+type Delete struct {
+	Table string
+	Where []Condition
+}
+
+// Select is SELECT cols|*|COUNT(*) FROM t [WHERE ...] [ORDER BY c [DESC]]
+// [LIMIT n]. The FROM target may be a ledger view ("<table>_ledger").
+type Select struct {
+	Columns  []string // nil = *
+	CountAll bool
+	Table    string
+	Where    []Condition
+	OrderBy  string
+	Desc     bool
+	Limit    int // 0 = no limit
+}
+
+// Begin/Commit/Rollback control explicit transactions; SavepointStmt and
+// RollbackTo give partial rollback.
+type (
+	// BeginStmt is BEGIN [TRANSACTION].
+	BeginStmt struct{}
+	// CommitStmt is COMMIT.
+	CommitStmt struct{}
+	// RollbackStmt is ROLLBACK.
+	RollbackStmt struct{}
+	// SavepointStmt is SAVE TRANSACTION name / SAVEPOINT name.
+	SavepointStmt struct{ Name string }
+	// RollbackToStmt is ROLLBACK TO name.
+	RollbackToStmt struct{ Name string }
+	// GenerateDigest is GENERATE DIGEST.
+	GenerateDigest struct{}
+	// VerifyStmt is VERIFY [LEDGER].
+	VerifyStmt struct{}
+)
+
+func (*CreateTable) stmt()     {}
+func (*DropTable) stmt()       {}
+func (*AlterAddColumn) stmt()  {}
+func (*AlterDropColumn) stmt() {}
+func (*CreateIndex) stmt()     {}
+func (*Insert) stmt()          {}
+func (*Update) stmt()          {}
+func (*Delete) stmt()          {}
+func (*Select) stmt()          {}
+func (*BeginStmt) stmt()       {}
+func (*CommitStmt) stmt()      {}
+func (*RollbackStmt) stmt()    {}
+func (*SavepointStmt) stmt()   {}
+func (*RollbackToStmt) stmt()  {}
+func (*GenerateDigest) stmt()  {}
+func (*VerifyStmt) stmt()      {}

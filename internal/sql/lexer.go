@@ -1,0 +1,134 @@
+// Package sql implements a small SQL dialect over the ledger database:
+// enough of SQL Server's surface for applications and operators to use
+// ledger tables the way the paper presents them — CREATE TABLE ... WITH
+// (LEDGER = ON), ordinary DML, SELECT with predicates and ordering,
+// querying the generated ledger views, transactions with savepoints, and
+// the ledger-specific statements (digest generation and verification).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber
+	tkString
+	tkSymbol // ( ) , ; * = < > <= >= <>
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "LEDGER": true, "WITH": true, "ON": true,
+	"OFF": true, "APPEND_ONLY": true, "PRIMARY": true, "KEY": true,
+	"NOT": true, "NULL": true, "DROP": true, "ALTER": true, "ADD": true,
+	"COLUMN": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "FROM": true,
+	"SELECT": true, "WHERE": true, "AND": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "BEGIN": true, "COMMIT": true,
+	"ROLLBACK": true, "TRANSACTION": true, "SAVE": true, "SAVEPOINT": true,
+	"TO": true, "TRUE": true, "FALSE": true, "AS": true, "COUNT": true,
+	"GENERATE": true, "DIGEST": true, "VERIFY": true, "INDEX": true,
+	"BIT": true, "TINYINT": true, "SMALLINT": true, "INT": true,
+	"BIGINT": true, "FLOAT": true, "DECIMAL": true, "CHAR": true,
+	"VARCHAR": true, "NVARCHAR": true, "BINARY": true, "VARBINARY": true,
+	"DATETIME": true, "UNIQUEIDENTIFIER": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) error(pos int, format string, args ...any) error {
+	return fmt.Errorf("sql: position %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) lex() ([]token, error) {
+	var toks []token
+	for {
+		for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			toks = append(toks, token{kind: tkEOF, pos: l.pos})
+			return toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(c):
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tkKeyword, text: up, pos: start})
+			} else {
+				toks = append(toks, token{kind: tkIdent, text: word, pos: start})
+			}
+		case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			toks = append(toks, token{kind: tkNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, l.error(start, "unterminated string literal")
+				}
+				if l.src[l.pos] == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'') // escaped quote
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			toks = append(toks, token{kind: tkString, text: sb.String(), pos: start})
+		case c == '<' || c == '>':
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || (c == '<' && l.src[l.pos] == '>')) {
+				l.pos++
+			}
+			toks = append(toks, token{kind: tkSymbol, text: l.src[start:l.pos], pos: start})
+		case strings.IndexByte("(),;*=", c) >= 0:
+			l.pos++
+			toks = append(toks, token{kind: tkSymbol, text: string(c), pos: start})
+		default:
+			return nil, l.error(start, "unexpected character %q", c)
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

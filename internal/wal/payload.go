@@ -1,0 +1,317 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sqlledger/internal/merkle"
+	"sqlledger/internal/sqltypes"
+)
+
+// TableRoot records the Merkle root of the row versions a transaction
+// updated in one ledger table (§3.2: tuples of the form
+// (ledger_table_id, merkle_root_hash)).
+type TableRoot struct {
+	TableID uint32
+	Root    merkle.Hash
+}
+
+// LedgerEntry is the database-ledger transaction entry built at commit
+// time (§3.3). It is embedded in the COMMIT record so the in-memory
+// ledger queue can be rebuilt during recovery, and later persisted to the
+// sys_ledger_transactions system table at checkpoint.
+type LedgerEntry struct {
+	TxID     uint64
+	BlockID  uint64
+	Ordinal  uint32 // position of the transaction within its block
+	CommitTS int64  // unix nanoseconds
+	User     string
+	Roots    []TableRoot
+}
+
+// Clone deep-copies the entry.
+func (e *LedgerEntry) Clone() *LedgerEntry {
+	if e == nil {
+		return nil
+	}
+	out := *e
+	out.Roots = append([]TableRoot(nil), e.Roots...)
+	return &out
+}
+
+// appendEntry serializes a LedgerEntry.
+func appendEntry(dst []byte, e *LedgerEntry) []byte {
+	dst = binary.AppendUvarint(dst, e.TxID)
+	dst = binary.AppendUvarint(dst, e.BlockID)
+	dst = binary.AppendUvarint(dst, uint64(e.Ordinal))
+	dst = binary.AppendVarint(dst, e.CommitTS)
+	dst = binary.AppendUvarint(dst, uint64(len(e.User)))
+	dst = append(dst, e.User...)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Roots)))
+	for _, tr := range e.Roots {
+		dst = binary.AppendUvarint(dst, uint64(tr.TableID))
+		dst = append(dst, tr.Root[:]...)
+	}
+	return dst
+}
+
+func decodeEntry(b []byte) (*LedgerEntry, int, error) {
+	e := &LedgerEntry{}
+	pos := 0
+	var err error
+	if e.TxID, pos, err = getUvarint(b, pos); err != nil {
+		return nil, 0, err
+	}
+	if e.BlockID, pos, err = getUvarint(b, pos); err != nil {
+		return nil, 0, err
+	}
+	var u uint64
+	if u, pos, err = getUvarint(b, pos); err != nil {
+		return nil, 0, err
+	}
+	e.Ordinal = uint32(u)
+	if e.CommitTS, pos, err = getVarint(b, pos); err != nil {
+		return nil, 0, err
+	}
+	if u, pos, err = getUvarint(b, pos); err != nil {
+		return nil, 0, err
+	}
+	if pos+int(u) > len(b) {
+		return nil, 0, fmt.Errorf("wal: entry user truncated")
+	}
+	e.User = string(b[pos : pos+int(u)])
+	pos += int(u)
+	if u, pos, err = getUvarint(b, pos); err != nil {
+		return nil, 0, err
+	}
+	e.Roots = make([]TableRoot, 0, u)
+	for i := uint64(0); i < u; i++ {
+		var tid uint64
+		if tid, pos, err = getUvarint(b, pos); err != nil {
+			return nil, 0, err
+		}
+		var tr TableRoot
+		tr.TableID = uint32(tid)
+		if pos+len(tr.Root) > len(b) {
+			return nil, 0, fmt.Errorf("wal: entry root truncated")
+		}
+		copy(tr.Root[:], b[pos:])
+		pos += len(tr.Root)
+		e.Roots = append(e.Roots, tr)
+	}
+	return e, pos, nil
+}
+
+func getUvarint(b []byte, pos int) (uint64, int, error) {
+	v, n := binary.Uvarint(b[pos:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("wal: bad uvarint at %d", pos)
+	}
+	return v, pos + n, nil
+}
+
+func getVarint(b []byte, pos int) (int64, int, error) {
+	v, n := binary.Varint(b[pos:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("wal: bad varint at %d", pos)
+	}
+	return v, pos + n, nil
+}
+
+func getBytes(b []byte, pos int) ([]byte, int, error) {
+	l, pos, err := getUvarint(b, pos)
+	if err != nil {
+		return nil, 0, err
+	}
+	if pos+int(l) > len(b) {
+		return nil, 0, fmt.Errorf("wal: bytes truncated at %d", pos)
+	}
+	return b[pos : pos+int(l)], pos + int(l), nil
+}
+
+// DMLPayload is the decoded payload of insert/delete/update records.
+// Before is set for deletes and updates; After for inserts and updates.
+type DMLPayload struct {
+	TableID uint32
+	Key     []byte
+	Before  sqltypes.Row
+	After   sqltypes.Row
+}
+
+// EncodeDML serializes a DML payload for the given record type.
+func EncodeDML(t RecordType, p DMLPayload) []byte {
+	dst := binary.AppendUvarint(nil, uint64(p.TableID))
+	dst = binary.AppendUvarint(dst, uint64(len(p.Key)))
+	dst = append(dst, p.Key...)
+	switch t {
+	case RecInsert:
+		dst = sqltypes.EncodeRow(dst, p.After)
+	case RecDelete:
+		dst = sqltypes.EncodeRow(dst, p.Before)
+	case RecUpdate:
+		dst = sqltypes.EncodeRow(dst, p.Before)
+		dst = sqltypes.EncodeRow(dst, p.After)
+	}
+	return dst
+}
+
+// DecodeDML decodes a DML payload.
+func DecodeDML(t RecordType, b []byte) (DMLPayload, error) {
+	var p DMLPayload
+	tid, pos, err := getUvarint(b, 0)
+	if err != nil {
+		return p, err
+	}
+	p.TableID = uint32(tid)
+	key, pos, err := getBytes(b, pos)
+	if err != nil {
+		return p, err
+	}
+	p.Key = append([]byte(nil), key...)
+	switch t {
+	case RecInsert:
+		r, n, err := sqltypes.DecodeRow(b[pos:])
+		if err != nil {
+			return p, err
+		}
+		p.After = r
+		pos += n
+	case RecDelete:
+		r, n, err := sqltypes.DecodeRow(b[pos:])
+		if err != nil {
+			return p, err
+		}
+		p.Before = r
+		pos += n
+	case RecUpdate:
+		r, n, err := sqltypes.DecodeRow(b[pos:])
+		if err != nil {
+			return p, err
+		}
+		p.Before = r
+		pos += n
+		r, n, err = sqltypes.DecodeRow(b[pos:])
+		if err != nil {
+			return p, err
+		}
+		p.After = r
+		pos += n
+	default:
+		return p, fmt.Errorf("wal: %s is not a DML record", t)
+	}
+	if pos != len(b) {
+		return p, fmt.Errorf("wal: %d trailing bytes in %s payload", len(b)-pos, t)
+	}
+	return p, nil
+}
+
+// CommitPayload is the decoded payload of a COMMIT record.
+type CommitPayload struct {
+	CommitTS int64
+	User     string
+	// Entry is non-nil when the transaction touched ledger tables.
+	Entry *LedgerEntry
+}
+
+// EncodeCommit serializes a commit payload.
+func EncodeCommit(p CommitPayload) []byte {
+	dst := binary.AppendVarint(nil, p.CommitTS)
+	dst = binary.AppendUvarint(dst, uint64(len(p.User)))
+	dst = append(dst, p.User...)
+	if p.Entry == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return appendEntry(dst, p.Entry)
+}
+
+// DecodeCommit decodes a commit payload.
+func DecodeCommit(b []byte) (CommitPayload, error) {
+	var p CommitPayload
+	var err error
+	var pos int
+	if p.CommitTS, pos, err = getVarint(b, 0); err != nil {
+		return p, err
+	}
+	user, pos, err := getBytes(b, pos)
+	if err != nil {
+		return p, err
+	}
+	p.User = string(user)
+	if pos >= len(b) {
+		return p, fmt.Errorf("wal: commit payload truncated")
+	}
+	hasEntry := b[pos] == 1
+	pos++
+	if hasEntry {
+		e, n, err := decodeEntry(b[pos:])
+		if err != nil {
+			return p, err
+		}
+		p.Entry = e
+		pos += n
+	}
+	if pos != len(b) {
+		return p, fmt.Errorf("wal: %d trailing bytes in commit payload", len(b)-pos)
+	}
+	return p, nil
+}
+
+// CheckpointPayload is the decoded payload of a CHECKPOINT record.
+type CheckpointPayload struct {
+	// SnapshotLSN is the LSN from which redo must begin when recovering
+	// with the snapshot this checkpoint wrote.
+	SnapshotLSN int64
+	WallTS      int64
+}
+
+// EncodeCheckpoint serializes a checkpoint payload.
+func EncodeCheckpoint(p CheckpointPayload) []byte {
+	dst := binary.AppendVarint(nil, p.SnapshotLSN)
+	return binary.AppendVarint(dst, p.WallTS)
+}
+
+// DecodeCheckpoint decodes a checkpoint payload.
+func DecodeCheckpoint(b []byte) (CheckpointPayload, error) {
+	var p CheckpointPayload
+	var err error
+	var pos int
+	if p.SnapshotLSN, pos, err = getVarint(b, 0); err != nil {
+		return p, err
+	}
+	if p.WallTS, _, err = getVarint(b, pos); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// DDLPayload carries a serialized catalog mutation; the engine interprets
+// the JSON body.
+type DDLPayload struct {
+	Kind string
+	Body []byte
+}
+
+// EncodeDDL serializes a DDL payload.
+func EncodeDDL(p DDLPayload) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(p.Kind)))
+	dst = append(dst, p.Kind...)
+	dst = binary.AppendUvarint(dst, uint64(len(p.Body)))
+	return append(dst, p.Body...)
+}
+
+// DecodeDDL decodes a DDL payload.
+func DecodeDDL(b []byte) (DDLPayload, error) {
+	var p DDLPayload
+	kind, pos, err := getBytes(b, 0)
+	if err != nil {
+		return p, err
+	}
+	p.Kind = string(kind)
+	body, _, err := getBytes(b, pos)
+	if err != nil {
+		return p, err
+	}
+	p.Body = append([]byte(nil), body...)
+	return p, nil
+}

@@ -1,0 +1,259 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"sqlledger"
+)
+
+// TPCC is the TPC-C-like order-processing workload (§4.1.1). Nine tables;
+// in ledger mode the four order/payment-related tables become ledger
+// tables, as in the paper: orders, order_line, new_order and the payment
+// history table.
+type TPCC struct {
+	*Common
+	Warehouses int
+
+	warehouse, district, customer, history   *Table
+	item, stock, orders, newOrder, orderLine *Table
+
+	nextHistoryID atomic.Int64
+}
+
+// TPC-C scale constants (scaled down from spec defaults for laptop runs).
+const (
+	tpccDistrictsPerWarehouse = 10
+	tpccCustomersPerDistrict  = 30
+	tpccItems                 = 1000
+	tpccInitialOrders         = 30
+)
+
+// NewTPCC creates and loads the TPC-C-like schema.
+func NewTPCC(db *sqlledger.DB, ledger bool, warehouses int) (*TPCC, error) {
+	if warehouses < 1 {
+		warehouses = 1
+	}
+	t := &TPCC{Common: newCommon(db, ledger), Warehouses: warehouses}
+	if err := t.createSchema(); err != nil {
+		return nil, err
+	}
+	if err := t.load(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *TPCC) createSchema() error {
+	var err error
+	mk := func(name string, asLedger bool, schema *sqlledger.Schema) *Table {
+		if err != nil {
+			return nil
+		}
+		var tab *Table
+		tab, err = t.createTable(name, schema, asLedger)
+		return tab
+	}
+	t.warehouse = mk("tpcc_warehouse", false, sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("w_id", sqlledger.TypeBigInt),
+		sqlledger.Col("w_name", sqlledger.TypeNVarChar),
+		sqlledger.Col("w_ytd", sqlledger.TypeBigInt),
+	}, "w_id"))
+	t.district = mk("tpcc_district", false, sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("d_w_id", sqlledger.TypeBigInt),
+		sqlledger.Col("d_id", sqlledger.TypeBigInt),
+		sqlledger.Col("d_name", sqlledger.TypeNVarChar),
+		sqlledger.Col("d_next_o_id", sqlledger.TypeBigInt),
+		sqlledger.Col("d_ytd", sqlledger.TypeBigInt),
+	}, "d_w_id", "d_id"))
+	t.customer = mk("tpcc_customer", false, sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("c_w_id", sqlledger.TypeBigInt),
+		sqlledger.Col("c_d_id", sqlledger.TypeBigInt),
+		sqlledger.Col("c_id", sqlledger.TypeBigInt),
+		sqlledger.Col("c_name", sqlledger.TypeNVarChar),
+		sqlledger.Col("c_balance", sqlledger.TypeBigInt),
+		sqlledger.Col("c_ytd_payment", sqlledger.TypeBigInt),
+		sqlledger.Col("c_payment_cnt", sqlledger.TypeBigInt),
+		sqlledger.Col("c_data", sqlledger.TypeNVarChar),
+	}, "c_w_id", "c_d_id", "c_id"))
+	t.item = mk("tpcc_item", false, sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("i_id", sqlledger.TypeBigInt),
+		sqlledger.Col("i_name", sqlledger.TypeNVarChar),
+		sqlledger.Col("i_price", sqlledger.TypeBigInt),
+	}, "i_id"))
+	t.stock = mk("tpcc_stock", false, sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("s_w_id", sqlledger.TypeBigInt),
+		sqlledger.Col("s_i_id", sqlledger.TypeBigInt),
+		sqlledger.Col("s_quantity", sqlledger.TypeBigInt),
+		sqlledger.Col("s_ytd", sqlledger.TypeBigInt),
+		sqlledger.Col("s_order_cnt", sqlledger.TypeBigInt),
+	}, "s_w_id", "s_i_id"))
+
+	// The four order/payment tables the paper converts to ledger tables.
+	t.history = mk("tpcc_payment_history", true, sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("h_id", sqlledger.TypeBigInt),
+		sqlledger.Col("h_c_w_id", sqlledger.TypeBigInt),
+		sqlledger.Col("h_c_d_id", sqlledger.TypeBigInt),
+		sqlledger.Col("h_c_id", sqlledger.TypeBigInt),
+		sqlledger.Col("h_amount", sqlledger.TypeBigInt),
+		sqlledger.Col("h_date", sqlledger.TypeDateTime),
+		sqlledger.Col("h_data", sqlledger.TypeNVarChar),
+	}, "h_id"))
+	t.orders = mk("tpcc_orders", true, sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("o_w_id", sqlledger.TypeBigInt),
+		sqlledger.Col("o_d_id", sqlledger.TypeBigInt),
+		sqlledger.Col("o_id", sqlledger.TypeBigInt),
+		sqlledger.Col("o_c_id", sqlledger.TypeBigInt),
+		sqlledger.Col("o_entry_d", sqlledger.TypeDateTime),
+		sqlledger.NullableCol("o_carrier_id", sqlledger.TypeBigInt),
+		sqlledger.Col("o_ol_cnt", sqlledger.TypeBigInt),
+	}, "o_w_id", "o_d_id", "o_id"))
+	t.newOrder = mk("tpcc_new_order", true, sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("no_w_id", sqlledger.TypeBigInt),
+		sqlledger.Col("no_d_id", sqlledger.TypeBigInt),
+		sqlledger.Col("no_o_id", sqlledger.TypeBigInt),
+	}, "no_w_id", "no_d_id", "no_o_id"))
+	t.orderLine = mk("tpcc_order_line", true, sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("ol_w_id", sqlledger.TypeBigInt),
+		sqlledger.Col("ol_d_id", sqlledger.TypeBigInt),
+		sqlledger.Col("ol_o_id", sqlledger.TypeBigInt),
+		sqlledger.Col("ol_number", sqlledger.TypeBigInt),
+		sqlledger.Col("ol_i_id", sqlledger.TypeBigInt),
+		sqlledger.Col("ol_quantity", sqlledger.TypeBigInt),
+		sqlledger.Col("ol_amount", sqlledger.TypeBigInt),
+		sqlledger.NullableCol("ol_delivery_d", sqlledger.TypeDateTime),
+	}, "ol_w_id", "ol_d_id", "ol_o_id", "ol_number"))
+	return err
+}
+
+func (t *TPCC) load() error {
+	rng := rand.New(rand.NewSource(42))
+	now := time.Now()
+	s := t.Begin("loader")
+	flush := func() error {
+		if err := s.Commit(); err != nil {
+			return err
+		}
+		s = t.Begin("loader")
+		return nil
+	}
+	for i := 1; i <= tpccItems; i++ {
+		if err := s.Insert(t.item, sqlledger.Row{
+			sqlledger.BigInt(int64(i)),
+			sqlledger.NVarChar(fmt.Sprintf("item-%d-%s", i, filler(rng, 12))),
+			sqlledger.BigInt(int64(uniform(rng, 100, 10000))),
+		}); err != nil {
+			return err
+		}
+		if i%500 == 0 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	hID := int64(0)
+	for w := 1; w <= t.Warehouses; w++ {
+		if err := s.Insert(t.warehouse, sqlledger.Row{
+			sqlledger.BigInt(int64(w)),
+			sqlledger.NVarChar(fmt.Sprintf("warehouse-%d", w)),
+			sqlledger.BigInt(0),
+		}); err != nil {
+			return err
+		}
+		for i := 1; i <= tpccItems; i++ {
+			if err := s.Insert(t.stock, sqlledger.Row{
+				sqlledger.BigInt(int64(w)), sqlledger.BigInt(int64(i)),
+				sqlledger.BigInt(int64(uniform(rng, 10, 100))),
+				sqlledger.BigInt(0), sqlledger.BigInt(0),
+			}); err != nil {
+				return err
+			}
+			if i%500 == 0 {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		for d := 1; d <= tpccDistrictsPerWarehouse; d++ {
+			if err := s.Insert(t.district, sqlledger.Row{
+				sqlledger.BigInt(int64(w)), sqlledger.BigInt(int64(d)),
+				sqlledger.NVarChar(fmt.Sprintf("district-%d-%d", w, d)),
+				sqlledger.BigInt(tpccInitialOrders + 1),
+				sqlledger.BigInt(0),
+			}); err != nil {
+				return err
+			}
+			for c := 1; c <= tpccCustomersPerDistrict; c++ {
+				if err := s.Insert(t.customer, sqlledger.Row{
+					sqlledger.BigInt(int64(w)), sqlledger.BigInt(int64(d)), sqlledger.BigInt(int64(c)),
+					sqlledger.NVarChar(fmt.Sprintf("customer-%d-%d-%d", w, d, c)),
+					sqlledger.BigInt(-1000), sqlledger.BigInt(1000), sqlledger.BigInt(1),
+					sqlledger.NVarChar(filler(rng, 100)),
+				}); err != nil {
+					return err
+				}
+			}
+			if err := flush(); err != nil {
+				return err
+			}
+			// Seed a few historical payments so deliveries have targets.
+			for k := 0; k < 3; k++ {
+				hID++
+				if err := s.Insert(t.history, sqlledger.Row{
+					sqlledger.BigInt(hID),
+					sqlledger.BigInt(int64(w)), sqlledger.BigInt(int64(d)),
+					sqlledger.BigInt(int64(uniform(rng, 1, tpccCustomersPerDistrict))),
+					sqlledger.BigInt(int64(uniform(rng, 100, 5000))),
+					sqlledger.DateTime(now),
+					sqlledger.NVarChar(filler(rng, 24)),
+				}); err != nil {
+					return err
+				}
+			}
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	t.nextHistoryID.Store(hID)
+	return s.Commit()
+}
+
+// State carried across transactions by a single driver goroutine.
+type TPCCClient struct {
+	t   *TPCC
+	rng *rand.Rand
+	// Stats
+	Commits, Aborts int
+}
+
+// NewClient creates a driver client with its own RNG.
+func (t *TPCC) NewClient(seed int64) *TPCCClient {
+	return &TPCCClient{t: t, rng: rand.New(rand.NewSource(seed))}
+}
+
+// RunOne executes one transaction drawn from the standard TPC-C mix
+// (45% NewOrder, 43% Payment, 4% OrderStatus, 4% Delivery, 4% StockLevel).
+func (c *TPCCClient) RunOne() error {
+	var err error
+	switch x := c.rng.Intn(100); {
+	case x < 45:
+		err = c.t.NewOrder(c.rng)
+	case x < 88:
+		err = c.t.Payment(c.rng)
+	case x < 92:
+		err = c.t.OrderStatus(c.rng)
+	case x < 96:
+		err = c.t.Delivery(c.rng)
+	default:
+		err = c.t.StockLevel(c.rng)
+	}
+	if err != nil {
+		c.Aborts++
+		return err
+	}
+	c.Commits++
+	return nil
+}

@@ -1,0 +1,465 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"sqlledger"
+)
+
+// TPCE is the TPC-E-like brokerage workload (§4.1.1): read-heavy (~77%
+// reads), financial data. The paper converts all 33 TPC-E tables to
+// ledger tables; this implementation declares all 33 with simplified
+// schemas and drives a simplified mix of the highest-weight transactions.
+type TPCE struct {
+	*Common
+	Customers  int
+	Securities int
+
+	customerAcct, trade, tradeHistory, settlement *Table
+	cashTransaction, holdingSummary, lastTrade    *Table
+	security, broker, customer                    *Table
+
+	nextTradeID atomic.Int64
+}
+
+// tpceReferenceTables lists the remaining TPC-E tables, created (and in
+// ledger mode, converted) for schema completeness and loaded with a few
+// reference rows each.
+var tpceReferenceTables = []string{
+	"tpce_account_permission", "tpce_address", "tpce_charge",
+	"tpce_commission_rate", "tpce_company", "tpce_company_competitor",
+	"tpce_customer_taxrate", "tpce_daily_market", "tpce_exchange",
+	"tpce_financial", "tpce_holding", "tpce_holding_history",
+	"tpce_industry", "tpce_news_item", "tpce_news_xref", "tpce_sector",
+	"tpce_status_type", "tpce_taxrate", "tpce_trade_request",
+	"tpce_trade_type", "tpce_watch_item", "tpce_watch_list",
+	"tpce_zip_code",
+}
+
+// NewTPCE creates and loads the TPC-E-like schema.
+func NewTPCE(db *sqlledger.DB, ledger bool, customers, securities int) (*TPCE, error) {
+	if customers < 1 {
+		customers = 100
+	}
+	if securities < 1 {
+		securities = 50
+	}
+	t := &TPCE{Common: newCommon(db, ledger), Customers: customers, Securities: securities}
+	if err := t.createSchema(); err != nil {
+		return nil, err
+	}
+	if err := t.load(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *TPCE) createSchema() error {
+	var err error
+	mk := func(name string, schema *sqlledger.Schema) *Table {
+		if err != nil {
+			return nil
+		}
+		var tab *Table
+		tab, err = t.createTable(name, schema, true) // all 33 tables are ledger tables
+		return tab
+	}
+	t.customer = mk("tpce_customer", sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("c_id", sqlledger.TypeBigInt),
+		sqlledger.Col("c_name", sqlledger.TypeNVarChar),
+		sqlledger.Col("c_tier", sqlledger.TypeBigInt),
+	}, "c_id"))
+	t.customerAcct = mk("tpce_customer_account", sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("ca_id", sqlledger.TypeBigInt),
+		sqlledger.Col("ca_c_id", sqlledger.TypeBigInt),
+		sqlledger.Col("ca_bal", sqlledger.TypeBigInt),
+		sqlledger.Col("ca_name", sqlledger.TypeNVarChar),
+	}, "ca_id"))
+	t.broker = mk("tpce_broker", sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("b_id", sqlledger.TypeBigInt),
+		sqlledger.Col("b_name", sqlledger.TypeNVarChar),
+		sqlledger.Col("b_num_trades", sqlledger.TypeBigInt),
+		sqlledger.Col("b_comm_total", sqlledger.TypeBigInt),
+	}, "b_id"))
+	t.security = mk("tpce_security", sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("s_symb", sqlledger.TypeNVarChar),
+		sqlledger.Col("s_name", sqlledger.TypeNVarChar),
+		sqlledger.Col("s_ex", sqlledger.TypeNVarChar),
+	}, "s_symb"))
+	t.lastTrade = mk("tpce_last_trade", sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("lt_s_symb", sqlledger.TypeNVarChar),
+		sqlledger.Col("lt_price", sqlledger.TypeBigInt),
+		sqlledger.Col("lt_vol", sqlledger.TypeBigInt),
+		sqlledger.Col("lt_dts", sqlledger.TypeDateTime),
+	}, "lt_s_symb"))
+	t.trade = mk("tpce_trade", sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("t_id", sqlledger.TypeBigInt),
+		sqlledger.Col("t_ca_id", sqlledger.TypeBigInt),
+		sqlledger.Col("t_s_symb", sqlledger.TypeNVarChar),
+		sqlledger.Col("t_qty", sqlledger.TypeBigInt),
+		sqlledger.Col("t_price", sqlledger.TypeBigInt),
+		sqlledger.Col("t_status", sqlledger.TypeNVarChar),
+		sqlledger.Col("t_dts", sqlledger.TypeDateTime),
+		sqlledger.Col("t_is_buy", sqlledger.TypeBit),
+	}, "t_id"))
+	t.tradeHistory = mk("tpce_trade_history", sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("th_t_id", sqlledger.TypeBigInt),
+		sqlledger.Col("th_seq", sqlledger.TypeBigInt),
+		sqlledger.Col("th_status", sqlledger.TypeNVarChar),
+		sqlledger.Col("th_dts", sqlledger.TypeDateTime),
+	}, "th_t_id", "th_seq"))
+	t.settlement = mk("tpce_settlement", sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("se_t_id", sqlledger.TypeBigInt),
+		sqlledger.Col("se_amt", sqlledger.TypeBigInt),
+		sqlledger.Col("se_cash_due", sqlledger.TypeDateTime),
+	}, "se_t_id"))
+	t.cashTransaction = mk("tpce_cash_transaction", sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("ct_t_id", sqlledger.TypeBigInt),
+		sqlledger.Col("ct_amt", sqlledger.TypeBigInt),
+		sqlledger.Col("ct_dts", sqlledger.TypeDateTime),
+		sqlledger.Col("ct_name", sqlledger.TypeNVarChar),
+	}, "ct_t_id"))
+	t.holdingSummary = mk("tpce_holding_summary", sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("hs_ca_id", sqlledger.TypeBigInt),
+		sqlledger.Col("hs_s_symb", sqlledger.TypeNVarChar),
+		sqlledger.Col("hs_qty", sqlledger.TypeBigInt),
+	}, "hs_ca_id", "hs_s_symb"))
+	if err != nil {
+		return err
+	}
+	// The remaining 23 tables: generic reference schema.
+	for _, name := range tpceReferenceTables {
+		mk(name, sqlledger.MustSchema([]sqlledger.Column{
+			sqlledger.Col("id", sqlledger.TypeBigInt),
+			sqlledger.Col("data", sqlledger.TypeNVarChar),
+		}, "id"))
+		if err != nil {
+			return err
+		}
+	}
+	return err
+}
+
+func symb(i int) string { return fmt.Sprintf("SYM%04d", i) }
+
+func (t *TPCE) load() error {
+	rng := rand.New(rand.NewSource(7))
+	now := time.Now()
+	s := t.Begin("loader")
+	flush := func() error {
+		if err := s.Commit(); err != nil {
+			return err
+		}
+		s = t.Begin("loader")
+		return nil
+	}
+	for i := 1; i <= t.Customers; i++ {
+		if err := s.Insert(t.customer, sqlledger.Row{
+			sqlledger.BigInt(int64(i)),
+			sqlledger.NVarChar(fmt.Sprintf("customer-%d", i)),
+			sqlledger.BigInt(int64(uniform(rng, 1, 3))),
+		}); err != nil {
+			return err
+		}
+		if err := s.Insert(t.customerAcct, sqlledger.Row{
+			sqlledger.BigInt(int64(i)),
+			sqlledger.BigInt(int64(i)),
+			sqlledger.BigInt(1_000_000),
+			sqlledger.NVarChar(fmt.Sprintf("account-%d %s", i, filler(rng, 20))),
+		}); err != nil {
+			return err
+		}
+		if i%200 == 0 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 1; i <= 10; i++ {
+		if err := s.Insert(t.broker, sqlledger.Row{
+			sqlledger.BigInt(int64(i)),
+			sqlledger.NVarChar(fmt.Sprintf("broker-%d", i)),
+			sqlledger.BigInt(0), sqlledger.BigInt(0),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= t.Securities; i++ {
+		if err := s.Insert(t.security, sqlledger.Row{
+			sqlledger.NVarChar(symb(i)),
+			sqlledger.NVarChar(fmt.Sprintf("security-%d %s", i, filler(rng, 16))),
+			sqlledger.NVarChar("NYSE"),
+		}); err != nil {
+			return err
+		}
+		if err := s.Insert(t.lastTrade, sqlledger.Row{
+			sqlledger.NVarChar(symb(i)),
+			sqlledger.BigInt(int64(uniform(rng, 1000, 100000))),
+			sqlledger.BigInt(0),
+			sqlledger.DateTime(now),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	for _, name := range tpceReferenceTables {
+		tab, err := t.Table(name)
+		if err != nil {
+			return err
+		}
+		for i := 1; i <= 20; i++ {
+			if err := s.Insert(tab, sqlledger.Row{
+				sqlledger.BigInt(int64(i)),
+				sqlledger.NVarChar(filler(rng, 40)),
+			}); err != nil {
+				return err
+			}
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	return s.Commit()
+}
+
+// TPCEClient drives the TPC-E mix from one goroutine.
+type TPCEClient struct {
+	t   *TPCE
+	rng *rand.Rand
+	// pendingTrades holds trades this client ordered but has not settled.
+	pendingTrades   []int64
+	Commits, Aborts int
+}
+
+// NewClient creates a driver client.
+func (t *TPCE) NewClient(seed int64) *TPCEClient {
+	return &TPCEClient{t: t, rng: rand.New(rand.NewSource(seed))}
+}
+
+// RunOne executes one transaction from a simplified TPC-E mix:
+// Trade-Order 10%, Trade-Result 10%, Market-Feed 3%, and the remaining
+// 77% spread over the read-only transactions (Trade-Status,
+// Customer-Position, Market-Watch, Security-Detail).
+func (c *TPCEClient) RunOne() error {
+	var err error
+	switch x := c.rng.Intn(100); {
+	case x < 10:
+		var tid int64
+		tid, err = c.t.TradeOrder(c.rng)
+		if err == nil {
+			c.pendingTrades = append(c.pendingTrades, tid)
+		}
+	case x < 20:
+		if len(c.pendingTrades) == 0 {
+			_, err = c.t.TradeOrder(c.rng)
+		} else {
+			tid := c.pendingTrades[0]
+			c.pendingTrades = c.pendingTrades[1:]
+			err = c.t.TradeResult(c.rng, tid)
+		}
+	case x < 23:
+		err = c.t.MarketFeed(c.rng)
+	case x < 42:
+		err = c.t.TradeStatus(c.rng)
+	case x < 61:
+		err = c.t.CustomerPosition(c.rng)
+	case x < 80:
+		err = c.t.MarketWatch(c.rng)
+	default:
+		err = c.t.SecurityDetail(c.rng)
+	}
+	if err != nil {
+		c.Aborts++
+		return err
+	}
+	c.Commits++
+	return nil
+}
+
+// TradeOrder submits a trade: inserts the trade and its first history row.
+func (t *TPCE) TradeOrder(rng *rand.Rand) (int64, error) {
+	tid := t.nextTradeID.Add(1)
+	ca := int64(uniform(rng, 1, t.Customers))
+	sym := symb(uniform(rng, 1, t.Securities))
+	s := t.Begin("app")
+	defer s.Rollback()
+	ltRow, ok, err := s.Get(t.lastTrade, sqlledger.NVarChar(sym))
+	if err != nil || !ok {
+		return 0, fmt.Errorf("workload: last_trade %s: %v", sym, err)
+	}
+	price := ltRow[1].Int()
+	if err := s.Insert(t.trade, sqlledger.Row{
+		sqlledger.BigInt(tid), sqlledger.BigInt(ca), sqlledger.NVarChar(sym),
+		sqlledger.BigInt(int64(uniform(rng, 10, 500))), sqlledger.BigInt(price),
+		sqlledger.NVarChar("SBMT"), sqlledger.DateTime(time.Now()),
+		sqlledger.Bit(rng.Intn(2) == 0),
+	}); err != nil {
+		return 0, err
+	}
+	if err := s.Insert(t.tradeHistory, sqlledger.Row{
+		sqlledger.BigInt(tid), sqlledger.BigInt(1),
+		sqlledger.NVarChar("SBMT"), sqlledger.DateTime(time.Now()),
+	}); err != nil {
+		return 0, err
+	}
+	return tid, s.Commit()
+}
+
+// TradeResult completes a trade: updates its status, adjusts the account
+// balance and holding summary, and records settlement and cash movement.
+func (t *TPCE) TradeResult(rng *rand.Rand, tid int64) error {
+	s := t.Begin("app")
+	defer s.Rollback()
+	tRow, ok, err := s.Get(t.trade, sqlledger.BigInt(tid))
+	if err != nil || !ok {
+		return fmt.Errorf("workload: trade %d: %v", tid, err)
+	}
+	tRow = tRow.Clone()
+	tRow[5] = sqlledger.NVarChar("CMPT")
+	if err := s.Update(t.trade, tRow); err != nil {
+		return err
+	}
+	if err := s.Insert(t.tradeHistory, sqlledger.Row{
+		sqlledger.BigInt(tid), sqlledger.BigInt(2),
+		sqlledger.NVarChar("CMPT"), sqlledger.DateTime(time.Now()),
+	}); err != nil {
+		return err
+	}
+	ca, qty, price := tRow[1].Int(), tRow[3].Int(), tRow[4].Int()
+	sym := tRow[2].Str
+	buy := tRow[7].Bool()
+	amt := qty * price
+	if buy {
+		amt = -amt
+	}
+	aRow, ok, err := s.Get(t.customerAcct, sqlledger.BigInt(ca))
+	if err != nil || !ok {
+		return fmt.Errorf("workload: account %d: %v", ca, err)
+	}
+	aRow = aRow.Clone()
+	aRow[2] = sqlledger.BigInt(aRow[2].Int() + amt)
+	if err := s.Update(t.customerAcct, aRow); err != nil {
+		return err
+	}
+	hsRow, ok, err := s.Get(t.holdingSummary, sqlledger.BigInt(ca), sqlledger.NVarChar(sym))
+	delta := qty
+	if !buy {
+		delta = -qty
+	}
+	if err != nil {
+		return err
+	}
+	if ok {
+		hsRow = hsRow.Clone()
+		hsRow[2] = sqlledger.BigInt(hsRow[2].Int() + delta)
+		if err := s.Update(t.holdingSummary, hsRow); err != nil {
+			return err
+		}
+	} else if err := s.Insert(t.holdingSummary, sqlledger.Row{
+		sqlledger.BigInt(ca), sqlledger.NVarChar(sym), sqlledger.BigInt(delta),
+	}); err != nil {
+		return err
+	}
+	if err := s.Insert(t.settlement, sqlledger.Row{
+		sqlledger.BigInt(tid), sqlledger.BigInt(amt),
+		sqlledger.DateTime(time.Now().Add(48 * time.Hour)),
+	}); err != nil {
+		return err
+	}
+	if err := s.Insert(t.cashTransaction, sqlledger.Row{
+		sqlledger.BigInt(tid), sqlledger.BigInt(amt), sqlledger.DateTime(time.Now()),
+		sqlledger.NVarChar(fmt.Sprintf("settle trade %d", tid)),
+	}); err != nil {
+		return err
+	}
+	return s.Commit()
+}
+
+// MarketFeed ticks a handful of securities' last trade prices.
+func (t *TPCE) MarketFeed(rng *rand.Rand) error {
+	s := t.Begin("feed")
+	defer s.Rollback()
+	for i := 0; i < 5; i++ {
+		sym := symb(uniform(rng, 1, t.Securities))
+		r, ok, err := s.Get(t.lastTrade, sqlledger.NVarChar(sym))
+		if err != nil || !ok {
+			return fmt.Errorf("workload: last_trade %s: %v", sym, err)
+		}
+		r = r.Clone()
+		r[1] = sqlledger.BigInt(r[1].Int() + int64(uniform(rng, -50, 50)))
+		r[2] = sqlledger.BigInt(r[2].Int() + 100)
+		r[3] = sqlledger.DateTime(time.Now())
+		if err := s.Update(t.lastTrade, r); err != nil {
+			return err
+		}
+	}
+	return s.Commit()
+}
+
+// TradeStatus reads the history of a recent trade plus the account.
+func (t *TPCE) TradeStatus(rng *rand.Rand) error {
+	ca := int64(uniform(rng, 1, t.Customers))
+	s := t.Begin("app")
+	defer s.Rollback()
+	if max := t.nextTradeID.Load(); max > 0 {
+		tid := int64(uniform(rng, 1, int(max)))
+		if err := s.ScanPrefix(t.tradeHistory, func(r sqlledger.Row) bool { return true },
+			sqlledger.BigInt(tid)); err != nil {
+			return err
+		}
+	}
+	if _, _, err := s.Get(t.customerAcct, sqlledger.BigInt(ca)); err != nil {
+		return err
+	}
+	return s.Commit()
+}
+
+// CustomerPosition reads a customer's account and holdings.
+func (t *TPCE) CustomerPosition(rng *rand.Rand) error {
+	ca := int64(uniform(rng, 1, t.Customers))
+	s := t.Begin("app")
+	defer s.Rollback()
+	if _, _, err := s.Get(t.customer, sqlledger.BigInt(ca)); err != nil {
+		return err
+	}
+	if _, _, err := s.Get(t.customerAcct, sqlledger.BigInt(ca)); err != nil {
+		return err
+	}
+	if err := s.ScanPrefix(t.holdingSummary, func(r sqlledger.Row) bool { return true },
+		sqlledger.BigInt(ca)); err != nil {
+		return err
+	}
+	return s.Commit()
+}
+
+// MarketWatch reads last-trade prices for a basket of securities.
+func (t *TPCE) MarketWatch(rng *rand.Rand) error {
+	s := t.Begin("app")
+	defer s.Rollback()
+	for i := 0; i < 10; i++ {
+		sym := symb(uniform(rng, 1, t.Securities))
+		if _, _, err := s.Get(t.lastTrade, sqlledger.NVarChar(sym)); err != nil {
+			return err
+		}
+	}
+	return s.Commit()
+}
+
+// SecurityDetail reads a security and its latest price.
+func (t *TPCE) SecurityDetail(rng *rand.Rand) error {
+	sym := symb(uniform(rng, 1, t.Securities))
+	s := t.Begin("app")
+	defer s.Rollback()
+	if _, _, err := s.Get(t.security, sqlledger.NVarChar(sym)); err != nil {
+		return err
+	}
+	if _, _, err := s.Get(t.lastTrade, sqlledger.NVarChar(sym)); err != nil {
+		return err
+	}
+	return s.Commit()
+}

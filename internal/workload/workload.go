@@ -1,0 +1,148 @@
+// Package workload implements the two OLTP workloads the paper evaluates
+// SQL Ledger with (§4.1): a TPC-C-like order-processing workload (update
+// intensive — the worst case for the ledger) and a TPC-E-like brokerage
+// workload (a more common read/write ratio). Each workload can run in
+// ledger mode (the paper's SQL Ledger configuration) or regular mode (the
+// traditional-SQL-Server baseline), so benchmarks can report the relative
+// overhead that Figure 7 shows.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sqlledger"
+	"sqlledger/internal/engine"
+)
+
+// Table abstracts over ledger and regular tables so workload transaction
+// code is identical in both modes.
+type Table struct {
+	lt *sqlledger.LedgerTable
+	et *engine.Table
+}
+
+// Session wraps a transaction with mode-dispatching DML.
+type Session struct {
+	tx *sqlledger.Tx
+}
+
+// Begin starts a workload transaction.
+func (w *Common) Begin(user string) *Session { return &Session{tx: w.DB.Begin(user)} }
+
+// Commit commits the transaction.
+func (s *Session) Commit() error { return s.tx.Commit() }
+
+// Rollback abandons the transaction.
+func (s *Session) Rollback() error { return s.tx.Rollback() }
+
+// Insert adds a row.
+func (s *Session) Insert(t *Table, row sqlledger.Row) error {
+	if t.lt != nil {
+		return s.tx.Insert(t.lt, row)
+	}
+	_, err := s.tx.Raw().Insert(t.et, row)
+	return err
+}
+
+// Update replaces the row whose primary key matches row.
+func (s *Session) Update(t *Table, row sqlledger.Row) error {
+	if t.lt != nil {
+		return s.tx.Update(t.lt, row)
+	}
+	_, err := s.tx.Raw().Update(t.et, row)
+	return err
+}
+
+// Delete removes a row by primary key values.
+func (s *Session) Delete(t *Table, key ...sqlledger.Value) error {
+	if t.lt != nil {
+		return s.tx.Delete(t.lt, key...)
+	}
+	_, err := s.tx.Raw().Delete(t.et, key...)
+	return err
+}
+
+// Get reads a row by primary key values.
+func (s *Session) Get(t *Table, key ...sqlledger.Value) (sqlledger.Row, bool, error) {
+	if t.lt != nil {
+		return s.tx.Get(t.lt, key...)
+	}
+	return s.tx.Raw().Get(t.et, key...)
+}
+
+// ScanPrefix iterates rows whose leading primary-key columns equal vals.
+func (s *Session) ScanPrefix(t *Table, fn func(row sqlledger.Row) bool, vals ...sqlledger.Value) error {
+	if t.lt != nil {
+		return s.tx.ScanPrefix(t.lt, fn, vals...)
+	}
+	start, end := engine.PrefixRange(vals...)
+	return s.tx.Raw().ScanRange(t.et, start, end, func(_ []byte, row sqlledger.Row) bool {
+		return fn(row)
+	})
+}
+
+// Common holds what both workloads share.
+type Common struct {
+	DB     *sqlledger.DB
+	Ledger bool
+	tables map[string]*Table
+}
+
+func newCommon(db *sqlledger.DB, ledger bool) *Common {
+	return &Common{DB: db, Ledger: ledger, tables: make(map[string]*Table)}
+}
+
+// createTable creates a table in the configured mode. ledgerKind is
+// consulted only when the workload runs in ledger mode AND the table is in
+// the workload's ledger set; otherwise a regular table is created.
+func (w *Common) createTable(name string, schema *sqlledger.Schema, asLedger bool) (*Table, error) {
+	if w.Ledger && asLedger {
+		lt, err := w.DB.CreateLedgerTable(name, schema, sqlledger.Updateable)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{lt: lt}
+		w.tables[name] = t
+		return t, nil
+	}
+	et, err := w.DB.Engine().CreateTable(engine.CreateTableSpec{Name: name, Schema: schema})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{et: et}
+	w.tables[name] = t
+	return t, nil
+}
+
+// Table returns a workload table by name.
+func (w *Common) Table(name string) (*Table, error) {
+	t, ok := w.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: table %q not found", name)
+	}
+	return t, nil
+}
+
+// filler returns a deterministic padding string of length n, used to give
+// rows realistic widths (the paper's latency experiments use 260-byte
+// rows).
+func filler(rng *rand.Rand, n int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	var b strings.Builder
+	b.Grow(n)
+	for i := 0; i < n; i++ {
+		b.WriteByte(letters[rng.Intn(len(letters))])
+	}
+	return b.String()
+}
+
+// uniform returns a uniformly random integer in [lo, hi].
+func uniform(rng *rand.Rand, lo, hi int) int { return lo + rng.Intn(hi-lo+1) }
+
+// nonUniform implements the TPC-C NURand non-uniform distribution.
+func nonUniform(rng *rand.Rand, a, lo, hi int) int {
+	c := a / 2
+	return (((uniform(rng, 0, a) | uniform(rng, lo, hi)) + c) % (hi - lo + 1)) + lo
+}

@@ -1,0 +1,95 @@
+package sqlledger_test
+
+import (
+	"testing"
+
+	"sqlledger"
+)
+
+// newTestDB opens a ledger database in a temp dir with a small block size
+// so tests exercise multi-block behaviour.
+func newTestDB(t *testing.T, blockSize uint32) *sqlledger.DB {
+	t.Helper()
+	db, err := sqlledger.Open(sqlledger.Options{
+		Dir:       t.TempDir(),
+		Name:      "testdb",
+		BlockSize: blockSize,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func accountsSchema() *sqlledger.Schema {
+	return sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("name", sqlledger.TypeNVarChar),
+		sqlledger.Col("balance", sqlledger.TypeBigInt),
+	}, "name")
+}
+
+func TestSmokeEndToEnd(t *testing.T) {
+	db := newTestDB(t, 4)
+	accounts, err := db.CreateLedgerTable("accounts", accountsSchema(), sqlledger.Updateable)
+	if err != nil {
+		t.Fatalf("create ledger table: %v", err)
+	}
+
+	tx := db.Begin("alice")
+	if err := tx.Insert(accounts, sqlledger.Row{sqlledger.NVarChar("nick"), sqlledger.BigInt(100)}); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if err := tx.Insert(accounts, sqlledger.Row{sqlledger.NVarChar("john"), sqlledger.BigInt(500)}); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	tx = db.Begin("bob")
+	if err := tx.Update(accounts, sqlledger.Row{sqlledger.NVarChar("nick"), sqlledger.BigInt(50)}); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if err := tx.Delete(accounts, sqlledger.NVarChar("john")); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	digest, err := db.GenerateDigest()
+	if err != nil {
+		t.Fatalf("digest: %v", err)
+	}
+
+	rep, err := db.Verify([]sqlledger.Digest{digest}, sqlledger.VerifyOptions{})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("verification should pass:\n%s", rep)
+	}
+
+	// Tamper with a balance directly in storage; verification must fail.
+	eng := db.Engine()
+	var key []byte
+	accounts.Table().Scan(func(k []byte, _ sqlledger.Row) bool {
+		key = append([]byte(nil), k...)
+		return false
+	})
+	err = eng.TamperUpdateRow(accounts.Table(), key, func(r sqlledger.Row) sqlledger.Row {
+		r[1] = sqlledger.BigInt(999999)
+		return r
+	}, true)
+	if err != nil {
+		t.Fatalf("tamper: %v", err)
+	}
+	rep, err = db.Verify([]sqlledger.Digest{digest}, sqlledger.VerifyOptions{})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if rep.Ok() {
+		t.Fatalf("verification should detect tampering:\n%s", rep)
+	}
+}

@@ -1,0 +1,265 @@
+// Package sqlledger is a from-scratch Go reproduction of "SQL Ledger:
+// Cryptographically Verifiable Data in Azure SQL Database" (Antonopoulos
+// et al., SIGMOD 2021): an embedded relational database whose *ledger
+// tables* make data tamper-evident.
+//
+// Every DML operation on a ledger table is SHA-256 hashed into a
+// per-transaction Merkle tree; transaction entries are chained into
+// blocks forming the database ledger; compact *digests* of the ledger can
+// be exported to trusted storage and later used to cryptographically
+// verify that nothing — not even a DBA or an attacker writing directly to
+// storage — has modified the data (forward integrity).
+//
+// Quickstart:
+//
+//	db, _ := sqlledger.Open(sqlledger.Options{Dir: dir, Name: "bank"})
+//	defer db.Close()
+//
+//	schema := sqlledger.MustSchema([]sqlledger.Column{
+//		sqlledger.Col("name", sqlledger.TypeNVarChar),
+//		sqlledger.Col("balance", sqlledger.TypeBigInt),
+//	}, "name")
+//	accounts, _ := db.CreateLedgerTable("accounts", schema, sqlledger.Updateable)
+//
+//	tx := db.Begin("alice")
+//	tx.Insert(accounts, sqlledger.Row{sqlledger.NVarChar("nick"), sqlledger.BigInt(100)})
+//	tx.Commit()
+//
+//	digest, _ := db.GenerateDigest() // store this somewhere trusted
+//	report, _ := db.Verify([]sqlledger.Digest{digest}, sqlledger.VerifyOptions{})
+//	fmt.Println(report.Ok())
+//
+// The heavy lifting lives in the internal packages: internal/core (the
+// ledger), internal/engine (the relational engine), internal/merkle,
+// internal/serial, internal/wal, internal/blobstore. This package is the
+// stable facade that examples, tools and benchmarks build on.
+package sqlledger
+
+import (
+	"time"
+
+	"sqlledger/internal/blobstore"
+	"sqlledger/internal/core"
+	"sqlledger/internal/engine"
+	"sqlledger/internal/sql"
+	"sqlledger/internal/sqltypes"
+	"sqlledger/internal/wal"
+)
+
+// Core types, re-exported.
+type (
+	// DB is a database with SQL Ledger enabled.
+	DB = core.LedgerDB
+	// Tx is a ledger-aware transaction.
+	Tx = core.Tx
+	// LedgerTable is a handle to a ledger table.
+	LedgerTable = core.LedgerTable
+	// Digest is an exported database digest.
+	Digest = core.Digest
+	// Report is a verification report.
+	Report = core.Report
+	// Issue is one verification finding.
+	Issue = core.Issue
+	// VerifyOptions tunes verification.
+	VerifyOptions = core.VerifyOptions
+	// Receipt is a non-repudiation transaction receipt.
+	Receipt = core.Receipt
+	// LedgerViewRow is one row of a table's ledger view.
+	LedgerViewRow = core.LedgerViewRow
+	// TableOperation is one CREATE/DROP entry of the metadata ledger view.
+	TableOperation = core.TableOperation
+	// DigestUploader periodically uploads digests to immutable storage.
+	DigestUploader = core.DigestUploader
+	// RepairReport summarizes a tamper-repair run (§3.7).
+	RepairReport = core.RepairReport
+	// RepairAction is one divergence found/fixed during repair.
+	RepairAction = core.RepairAction
+	// SignedDigest is a digest signed with an organization's key (§2.4).
+	SignedDigest = core.SignedDigest
+
+	// Options configures Open.
+	Options = core.Options
+
+	// Schema describes a table's columns and primary key.
+	Schema = sqltypes.Schema
+	// Column describes one column.
+	Column = sqltypes.Column
+	// Row is an ordered tuple of values.
+	Row = sqltypes.Row
+	// Value is a typed nullable SQL value.
+	Value = sqltypes.Value
+	// TypeID identifies a SQL column type.
+	TypeID = sqltypes.TypeID
+
+	// BlobStore is an immutable, append-only blob store for digests.
+	BlobStore = blobstore.Store
+
+	// SQLSession executes SQL statements against a ledger database.
+	SQLSession = sql.Session
+	// SQLResult is the outcome of one SQL statement.
+	SQLResult = sql.Result
+)
+
+// Ledger table kinds.
+const (
+	// Updateable ledger tables support all DML; superseded versions move
+	// to a history table.
+	Updateable = engine.LedgerUpdateable
+	// AppendOnly ledger tables reject updates and deletes.
+	AppendOnly = engine.LedgerAppendOnly
+)
+
+// Column types.
+const (
+	TypeBit       = sqltypes.TypeBit
+	TypeTinyInt   = sqltypes.TypeTinyInt
+	TypeSmallInt  = sqltypes.TypeSmallInt
+	TypeInt       = sqltypes.TypeInt
+	TypeBigInt    = sqltypes.TypeBigInt
+	TypeFloat     = sqltypes.TypeFloat
+	TypeDecimal   = sqltypes.TypeDecimal
+	TypeChar      = sqltypes.TypeChar
+	TypeVarChar   = sqltypes.TypeVarChar
+	TypeNVarChar  = sqltypes.TypeNVarChar
+	TypeBinary    = sqltypes.TypeBinary
+	TypeVarBinary = sqltypes.TypeVarBinary
+	TypeDateTime  = sqltypes.TypeDateTime
+	TypeUniqueID  = sqltypes.TypeUniqueID
+)
+
+// WAL durability modes.
+const (
+	// SyncBuffered flushes to the OS on commit (default).
+	SyncBuffered = wal.SyncBuffered
+	// SyncFull fsyncs on every commit.
+	SyncFull = wal.SyncFull
+	// SyncNone buffers in user space until checkpoint/close.
+	SyncNone = wal.SyncNone
+)
+
+// DefaultBlockSize is the paper's production block size (100K transactions
+// per block).
+const DefaultBlockSize = core.DefaultBlockSize
+
+// Open opens (creating if necessary) a ledger database.
+func Open(opts Options) (*DB, error) { return core.Open(opts) }
+
+// RestoreToTime point-in-time-restores the database in srcDir into dstDir
+// as of targetTS (unix nanoseconds), starting a new incarnation.
+func RestoreToTime(srcDir, dstDir string, targetTS int64) error {
+	return core.RestoreToTime(srcDir, dstDir, targetTS)
+}
+
+// RepairFromBackup repairs db in place from a verified backup (§3.7):
+// rows that were modified, injected or deleted by a storage-level
+// attacker are restored to the backup's state. The backup must verify
+// against the provided digests first. With dryRun, divergences are only
+// reported.
+func RepairFromBackup(db, backup *DB, digests []Digest, dryRun bool) (*RepairReport, error) {
+	return core.RepairFromBackup(db, backup, digests, dryRun)
+}
+
+// NewDigestUploader creates a periodic digest uploader writing to store.
+func NewDigestUploader(db *DB, store BlobStore) *DigestUploader {
+	return core.NewDigestUploader(db, store)
+}
+
+// NewSQLSession opens a SQL session: CREATE TABLE ... WITH (LEDGER = ON),
+// DML, SELECT (including "<table>_ledger" views), transactions with
+// savepoints, GENERATE DIGEST and VERIFY. Sessions are not safe for
+// concurrent use; open one per connection.
+func NewSQLSession(db *DB, user string) *SQLSession { return sql.NewSession(db, user) }
+
+// NewMemoryBlobStore returns an in-memory immutable blob store.
+func NewMemoryBlobStore() BlobStore { return blobstore.NewMemory() }
+
+// NewDirBlobStore returns a file-backed immutable blob store rooted at dir.
+func NewDirBlobStore(dir string) (BlobStore, error) { return blobstore.NewDir(dir) }
+
+// VerifyReceipt checks a transaction receipt offline against the signer's
+// public key; it needs no database access.
+var VerifyReceipt = core.VerifyReceipt
+
+// ParseDigest parses a digest JSON document.
+func ParseDigest(b []byte) (Digest, error) { return core.ParseDigest(b) }
+
+// SignDigest signs a digest with the organization's private key (§2.4),
+// so partners and auditors can authenticate it.
+var SignDigest = core.SignDigest
+
+// VerifySignedDigest checks a signed digest's authenticity.
+var VerifySignedDigest = core.VerifySignedDigest
+
+// ParseSignedDigest parses a signed digest JSON document.
+func ParseSignedDigest(b []byte) (SignedDigest, error) { return core.ParseSignedDigest(b) }
+
+// ParseReceipt parses a receipt JSON document.
+func ParseReceipt(b []byte) (Receipt, error) { return core.ParseReceipt(b) }
+
+// Schema construction helpers.
+
+// NewSchema builds a schema from columns and primary-key column names.
+func NewSchema(cols []Column, keyNames ...string) (*Schema, error) {
+	return sqltypes.NewSchema(cols, keyNames...)
+}
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(cols []Column, keyNames ...string) *Schema {
+	return sqltypes.MustSchema(cols, keyNames...)
+}
+
+// Col declares a non-nullable column.
+func Col(name string, t TypeID) Column { return sqltypes.Col(name, t) }
+
+// NullableCol declares a nullable column.
+func NullableCol(name string, t TypeID) Column { return sqltypes.NullableCol(name, t) }
+
+// VarCol declares a variable-length column with a declared max length.
+func VarCol(name string, t TypeID, length int) Column { return sqltypes.VarCol(name, t, length) }
+
+// DecimalCol declares a DECIMAL column.
+func DecimalCol(name string, prec, scale int) Column { return sqltypes.DecimalCol(name, prec, scale) }
+
+// Value constructors.
+
+// Null returns the NULL value of type t.
+func Null(t TypeID) Value { return sqltypes.NewNull(t) }
+
+// Bit returns a BIT value.
+func Bit(b bool) Value { return sqltypes.NewBit(b) }
+
+// TinyInt returns a TINYINT value.
+func TinyInt(i uint8) Value { return sqltypes.NewTinyInt(i) }
+
+// SmallInt returns a SMALLINT value.
+func SmallInt(i int16) Value { return sqltypes.NewSmallInt(i) }
+
+// Int returns an INT value.
+func Int(i int32) Value { return sqltypes.NewInt(i) }
+
+// BigInt returns a BIGINT value.
+func BigInt(i int64) Value { return sqltypes.NewBigInt(i) }
+
+// Float returns a FLOAT value.
+func Float(f float64) Value { return sqltypes.NewFloat(f) }
+
+// Decimal returns a DECIMAL value from its scaled integer representation.
+func Decimal(scaled int64) Value { return sqltypes.NewDecimal(scaled) }
+
+// Char returns a CHAR value.
+func Char(s string) Value { return sqltypes.NewChar(s) }
+
+// VarChar returns a VARCHAR value.
+func VarChar(s string) Value { return sqltypes.NewVarChar(s) }
+
+// NVarChar returns an NVARCHAR value.
+func NVarChar(s string) Value { return sqltypes.NewNVarChar(s) }
+
+// Binary returns a BINARY value.
+func Binary(b []byte) Value { return sqltypes.NewBinary(b) }
+
+// VarBinary returns a VARBINARY value.
+func VarBinary(b []byte) Value { return sqltypes.NewVarBinary(b) }
+
+// DateTime returns a DATETIME value.
+func DateTime(t time.Time) Value { return sqltypes.NewDateTime(t) }

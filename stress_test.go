@@ -1,0 +1,149 @@
+package sqlledger_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sqlledger"
+	"sqlledger/internal/simchain"
+)
+
+// TestStressConcurrentEverything runs writers, a digest uploader, and
+// periodic checkpoints concurrently against small blocks, then verifies
+// the whole ledger. It exercises the commit path, the in-memory queue,
+// asynchronous block closing and the checkpoint drain under contention.
+func TestStressConcurrentEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	db := newTestDB(t, 7) // tiny blocks: constant closing
+	lt, err := db.CreateLedgerTable("stress", accountsSchema(), sqlledger.Updateable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := sqlledger.NewMemoryBlobStore()
+	uploader := sqlledger.NewDigestUploader(db, store)
+	uploader.Start(3 * time.Millisecond)
+
+	const writers = 6
+	const perWriter = 150
+	var aborted atomic.Int64
+	var wg sync.WaitGroup
+	stopCkpt := make(chan struct{})
+	wg.Add(1)
+	go func() { // checkpointer
+		defer wg.Done()
+		for {
+			select {
+			case <-stopCkpt:
+				return
+			case <-time.After(10 * time.Millisecond):
+				if err := db.Checkpoint(); err != nil {
+					t.Errorf("checkpoint: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tx := db.Begin(fmt.Sprintf("writer-%d", w))
+				key := fmt.Sprintf("k-%d-%d", w, i)
+				if err := tx.Insert(lt, sqlledger.Row{sqlledger.NVarChar(key), sqlledger.BigInt(int64(i))}); err != nil {
+					tx.Rollback()
+					aborted.Add(1)
+					continue
+				}
+				// Occasionally touch a shared row to create contention.
+				if i%10 == 0 {
+					shared := sqlledger.Row{sqlledger.NVarChar("shared"), sqlledger.BigInt(int64(w*1000 + i))}
+					if _, ok, _ := tx.Get(lt, sqlledger.NVarChar("shared")); ok {
+						if err := tx.Update(lt, shared); err != nil {
+							tx.Rollback()
+							aborted.Add(1)
+							continue
+						}
+					} else if err := tx.Insert(lt, shared); err != nil {
+						tx.Rollback()
+						aborted.Add(1)
+						continue
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					aborted.Add(1)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stopCkpt)
+	wg.Wait()
+	uploader.Stop()
+	for _, err := range uploader.Errs() {
+		t.Fatalf("uploader: %v", err)
+	}
+
+	rep, err := db.VerifyFromStore(store, sqlledger.VerifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("stress verification failed (aborted=%d):\n%s", aborted.Load(), rep)
+	}
+	if rep.TransactionsChecked < writers*perWriter/2 {
+		t.Fatalf("too few transactions made it: %d", rep.TransactionsChecked)
+	}
+	t.Logf("stress: %d txs, %d blocks, %d row versions, %d aborts, %d digests uploaded",
+		rep.TransactionsChecked, rep.BlocksChecked, rep.RowVersionsChecked, aborted.Load(), uploader.Uploads())
+}
+
+// TestAnchorDigestToPublicBlockchain demonstrates §2.4's strictest digest
+// management option: anchoring digests in a public blockchain so even the
+// storage provider leaves the trust boundary. The digest (signed, for
+// authenticity) is submitted as a blockchain transaction; its presence in
+// the hash-chained block history is the escrow.
+func TestAnchorDigestToPublicBlockchain(t *testing.T) {
+	db := newTestDB(t, 100)
+	lt, err := db.CreateLedgerTable("t", accountsSchema(), sqlledger.Updateable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin("u")
+	if err := tx.Insert(lt, sqlledger.Row{sqlledger.NVarChar("a"), sqlledger.BigInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.GenerateDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Public blockchain": the consensus-ledger simulator with fast
+	// parameters.
+	chain := simchain.New(simchain.Config{
+		Nodes: 4, EndorsementLatency: time.Millisecond,
+		ConsensusLatency: 2 * time.Millisecond, ValidationPerTx: 100 * time.Microsecond,
+		BlockCutSize: 4, BlockCutInterval: 5 * time.Millisecond,
+	})
+	defer chain.Stop()
+	if err := chain.Submit(d.JSON()); err != nil {
+		t.Fatal(err)
+	}
+	blocks := chain.Blocks()
+	if len(blocks) == 0 || !chain.VerifyChain() {
+		t.Fatal("digest not anchored")
+	}
+	// The anchored digest still verifies the database.
+	rep, err := db.Verify([]sqlledger.Digest{d}, sqlledger.VerifyOptions{})
+	if err != nil || !rep.Ok() {
+		t.Fatalf("verify: %v\n%s", err, rep)
+	}
+}
