@@ -1,0 +1,22 @@
+# Tier-1: everything must build and every test must pass.
+.PHONY: test
+test:
+	go build ./... && go test ./...
+
+# Race-enabled run of the core verification tests: the sharded scans,
+# worker-pool hashing and single-pass index checks are concurrent, so
+# exercise them under the race detector.
+.PHONY: test-race-verify
+test-race-verify:
+	go test -race ./internal/core/ -run Verify
+	go test -race ./internal/engine/ -run Scan
+
+# Verification benchmarks (Figure 9 + the parallelism ablation), with
+# allocation stats so hot-path regressions are visible.
+.PHONY: bench-verify
+bench-verify:
+	go test -run - -bench 'Figure9|VerificationParallelism' -benchmem .
+	go test -run - -bench 'HashRow' -benchmem ./internal/serial/
+
+.PHONY: check
+check: test test-race-verify

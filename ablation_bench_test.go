@@ -102,36 +102,91 @@ func BenchmarkSavepointRollback(b *testing.B) {
 	tx.Rollback()
 }
 
-// BenchmarkVerificationParallelism shows the gain from per-table parallel
+// BenchmarkVerificationParallelism shows the gain from parallel
 // verification (§3.4.2 leans on SQL Server's parallel query execution).
+// Two dataset shapes, same total row count: eight evenly-populated tables
+// (per-table fan-out suffices) and one large table (the TPC-C-like shape
+// where only the intra-table sharded pipeline can use more than one core).
 func BenchmarkVerificationParallelism(b *testing.B) {
-	db := benchDB(b)
-	// Eight tables, populated evenly.
-	var tables []*sqlledger.LedgerTable
-	for i := 0; i < 8; i++ {
-		lt, err := db.CreateLedgerTable(fmt.Sprintf("t%d", i), fig8Schema(), sqlledger.Updateable)
+	shapes := []struct {
+		name    string
+		nTables int
+	}{
+		{"tables=8", 8},
+		{"tables=1", 1},
+	}
+	for _, shape := range shapes {
+		db := benchDB(b)
+		var tables []*sqlledger.LedgerTable
+		for i := 0; i < shape.nTables; i++ {
+			lt, err := db.CreateLedgerTable(fmt.Sprintf("t%d", i), fig8Schema(), sqlledger.Updateable)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tables = append(tables, lt)
+		}
+		for i := 0; i < 2000; i++ {
+			tx := db.Begin("bench")
+			if err := tx.Insert(tables[i%shape.nTables], fig8Row(int64(i))); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		d, err := db.GenerateDigest()
 		if err != nil {
 			b.Fatal(err)
 		}
-		tables = append(tables, lt)
-	}
-	for i := 0; i < 2000; i++ {
-		tx := db.Begin("bench")
-		if err := tx.Insert(tables[i%8], fig8Row(int64(i))); err != nil {
-			b.Fatal(err)
+		for _, par := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/parallelism=%d", shape.name, par), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rep, err := db.Verify([]sqlledger.Digest{d}, sqlledger.VerifyOptions{Parallelism: par})
+					if err != nil || !rep.Ok() {
+						b.Fatalf("verify: %v", err)
+					}
+				}
+			})
 		}
-		if err := tx.Commit(); err != nil {
-			b.Fatal(err)
-		}
 	}
-	d, err := db.GenerateDigest()
-	if err != nil {
-		b.Fatal(err)
-	}
-	for _, par := range []int{1, 4} {
-		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+}
+
+// BenchmarkVerificationIndexes isolates invariant 5 cost as indexes are
+// added: the single-pass check computes every index's entry keys in one
+// base-table scan, so cost grows with rows + index entries rather than
+// indexes × rows.
+func BenchmarkVerificationIndexes(b *testing.B) {
+	for _, nIdx := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("idx=%d", nIdx), func(b *testing.B) {
+			db := benchDB(b)
+			lt, err := db.CreateLedgerTable("t", fig8Schema(), sqlledger.Updateable)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cols := []string{"a", "b", "c"}
+			for i := 0; i < nIdx; i++ {
+				if _, err := db.Engine().CreateIndex("t", fmt.Sprintf("ix%d", i), cols[i%len(cols)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for i := 0; i < 5000; i += 20 {
+				tx := db.Begin("bench")
+				for j := 0; j < 20; j++ {
+					if err := tx.Insert(lt, fig8Row(int64(i+j))); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			d, err := db.GenerateDigest()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				rep, err := db.Verify([]sqlledger.Digest{d}, sqlledger.VerifyOptions{Parallelism: par})
+				rep, err := db.Verify([]sqlledger.Digest{d}, sqlledger.VerifyOptions{})
 				if err != nil || !rep.Ok() {
 					b.Fatalf("verify: %v", err)
 				}

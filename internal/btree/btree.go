@@ -302,6 +302,60 @@ func (t *Tree[V]) Ascend(fn func(key []byte, val V) bool) {
 	t.AscendRange(nil, nil, fn)
 }
 
+// height returns the number of interior levels above the leaf level.
+func (t *Tree[V]) height() int {
+	h := 0
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// separators appends, in ascending key order, every separator key stored
+// in interior nodes of the subtree rooted at nd, descending at most depth
+// levels. An in-order walk of the interior levels yields the separators
+// sorted, so the result needs no post-sort.
+func separators[V any](nd *node[V], depth int, out [][]byte) [][]byte {
+	if nd.leaf || depth <= 0 {
+		return out
+	}
+	for i, k := range nd.keys {
+		out = separators(nd.children[i], depth-1, out)
+		out = append(out, k)
+	}
+	return separators(nd.children[len(nd.children)-1], depth-1, out)
+}
+
+// ShardBoundaries returns up to n-1 separator keys, in ascending order,
+// that partition the key space into roughly equal contiguous ranges for
+// parallel scans: [nil, b0), [b0, b1), ..., [bk, nil). The boundaries are
+// real separator keys from the tree, so the ranges track the actual key
+// distribution; they need not currently exist as entries. A small or
+// single-level tree may yield fewer than n-1 boundaries (possibly none).
+func (t *Tree[V]) ShardBoundaries(n int) [][]byte {
+	if n <= 1 || t.root.leaf {
+		return nil
+	}
+	height := t.height()
+	var seps [][]byte
+	for depth := 1; ; depth++ {
+		seps = separators(t.root, depth, seps[:0])
+		if len(seps) >= n-1 || depth >= height {
+			break
+		}
+	}
+	if len(seps) <= n-1 {
+		return seps
+	}
+	// Sample n-1 evenly spaced boundaries; separator counts per subtree
+	// are balanced, so even index spacing approximates even row spacing.
+	out := make([][]byte, 0, n-1)
+	for i := 1; i < n; i++ {
+		out = append(out, seps[i*len(seps)/n])
+	}
+	return out
+}
+
 // Min returns the smallest key and its value.
 func (t *Tree[V]) Min() ([]byte, V, bool) {
 	n := t.root

@@ -249,3 +249,84 @@ func BenchmarkGet(b *testing.B) {
 		tr.Get(key(i % 100000))
 	}
 }
+
+// TestShardBoundariesPartition is the sharded-scan property test: for any
+// tree size and shard count, the boundaries are strictly ascending and the
+// union of range scans over the derived ranges reproduces a full serial
+// Ascend exactly — no overlap, no gap, no reordering.
+func TestShardBoundariesPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, size := range []int{0, 1, 2, 63, 64, 65, 200, 1000, 5000} {
+		tr := New[int]()
+		perm := rng.Perm(size * 2)
+		for i := 0; i < size; i++ {
+			tr.Put(key(perm[i]), perm[i])
+		}
+		var want [][]byte
+		tr.Ascend(func(k []byte, _ int) bool {
+			want = append(want, k)
+			return true
+		})
+		for _, n := range []int{1, 2, 3, 7, 16, 100} {
+			bounds := tr.ShardBoundaries(n)
+			if len(bounds) > n-1 && n > 1 {
+				t.Fatalf("size=%d n=%d: %d boundaries, want <= %d", size, n, len(bounds), n-1)
+			}
+			for i := 1; i < len(bounds); i++ {
+				if bytes.Compare(bounds[i-1], bounds[i]) >= 0 {
+					t.Fatalf("size=%d n=%d: boundaries not strictly ascending at %d", size, n, i)
+				}
+			}
+			var got [][]byte
+			var start []byte
+			scan := func(lo, hi []byte) {
+				tr.AscendRange(lo, hi, func(k []byte, _ int) bool {
+					got = append(got, k)
+					return true
+				})
+			}
+			for _, b := range bounds {
+				scan(start, b)
+				start = b
+			}
+			scan(start, nil)
+			if len(got) != len(want) {
+				t.Fatalf("size=%d n=%d: sharded scan saw %d keys, want %d", size, n, len(got), len(want))
+			}
+			for i := range got {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("size=%d n=%d: key %d mismatch: %q != %q", size, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardBoundariesAfterDeletes checks that boundaries remain a valid
+// partition when separator keys may no longer exist as entries.
+func TestShardBoundariesAfterDeletes(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 2000; i++ {
+		tr.Put(key(i), i)
+	}
+	for i := 0; i < 2000; i += 2 {
+		tr.Delete(key(i))
+	}
+	bounds := tr.ShardBoundaries(8)
+	seen := 0
+	var start []byte
+	scan := func(lo, hi []byte) {
+		tr.AscendRange(lo, hi, func([]byte, int) bool {
+			seen++
+			return true
+		})
+	}
+	for _, b := range bounds {
+		scan(start, b)
+		start = b
+	}
+	scan(start, nil)
+	if seen != tr.Len() {
+		t.Fatalf("sharded scan saw %d keys, want %d", seen, tr.Len())
+	}
+}

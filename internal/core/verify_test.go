@@ -430,3 +430,184 @@ func TestDigestForkDetected(t *testing.T) {
 		t.Fatal("fork not detected by digest derivation check")
 	}
 }
+
+// --- Sharded / parallel verification ---------------------------------------
+
+// issueStrings renders the (already sorted) issue list for comparison.
+func issueStrings(rep *Report) string {
+	var b strings.Builder
+	for _, i := range rep.Issues {
+		b.WriteString(i.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestVerifyParallelMatchesSerial tampers with a database several ways at
+// once and checks that Parallelism: 1 and Parallelism: 8 produce
+// byte-identical sorted issue lists and identical counters — the sharded
+// pipeline must detect exactly what the serial path detects.
+func TestVerifyParallelMatchesSerial(t *testing.T) {
+	l := openTestLedger(t, 10)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	if _, err := l.Engine().CreateIndex("accounts", "ix_balance", "balance"); err != nil {
+		t.Fatal(err)
+	}
+	d := seedAccounts(t, l, lt, 200)
+	for i := 0; i < 40; i++ { // populate the history table
+		tx := l.Begin("u")
+		tx.Update(lt, account(acctName(i), int64(1000+i)))
+		mustCommit(t, tx)
+	}
+	l.Checkpoint()
+
+	// Tamper 1: rewrite a base row (inv 4; index kept consistent).
+	key := firstKeyOf(t, lt.Table())
+	if err := l.Engine().TamperUpdateRow(lt.Table(), key, func(r sqltypes.Row) sqltypes.Row {
+		r[1] = sqltypes.NewBigInt(1_000_000)
+		return r
+	}, true); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper 2: rewrite a history row (inv 4).
+	hkey := firstKeyOf(t, lt.History())
+	if err := l.Engine().TamperUpdateRow(lt.History(), hkey, func(r sqltypes.Row) sqltypes.Row {
+		r[1] = sqltypes.NewBigInt(42)
+		return r
+	}, true); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper 3: corrupt a nonclustered index entry (inv 5).
+	ix := lt.Table().Indexes()[0]
+	var entryKey []byte
+	lt.Table().ScanIndex(ix, func(ek, _ []byte) bool {
+		entryKey = append([]byte(nil), ek...)
+		return false
+	})
+	if err := l.Engine().TamperIndexEntry(lt.Table(), ix, entryKey, []byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper 4: delete a transaction entry (inv 3 + orphaned rows inv 4).
+	tkey := firstKeyOf(t, l.sysTx)
+	if err := l.Engine().TamperDeleteRow(l.sysTx, tkey, true); err != nil {
+		t.Fatal(err)
+	}
+
+	serial, err := l.Verify([]Digest{d}, VerifyOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := l.Verify([]Digest{d}, VerifyOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Ok() || parallel.Ok() {
+		t.Fatal("tampered database verified clean")
+	}
+	if got, want := issueStrings(parallel), issueStrings(serial); got != want {
+		t.Fatalf("issue lists differ between parallelism levels:\nserial:\n%sparallel:\n%s", want, got)
+	}
+	if serial.RowVersionsChecked != parallel.RowVersionsChecked ||
+		serial.IndexesChecked != parallel.IndexesChecked ||
+		serial.TablesChecked != parallel.TablesChecked {
+		t.Fatalf("counters differ: serial=%+v parallel=%+v", serial, parallel)
+	}
+	if serial.RowVersionsChecked < 240 {
+		t.Fatalf("row versions checked = %d, want >= 240", serial.RowVersionsChecked)
+	}
+}
+
+// TestVerifyParallelCleanLargeTable checks the single-large-table shape the
+// sharded pipeline exists for: one table big enough for many shards, clean,
+// verified at high parallelism.
+func TestVerifyParallelCleanLargeTable(t *testing.T) {
+	l := openTestLedger(t, 25)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	d := seedAccounts(t, l, lt, 250)
+	rep, err := l.Verify([]Digest{d}, VerifyOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("clean database failed parallel verification:\n%s", rep)
+	}
+	if rep.RowVersionsChecked < 250 {
+		t.Fatalf("row versions checked = %d", rep.RowVersionsChecked)
+	}
+}
+
+// TestVerifyEmptyTableParallel covers the empty-table / empty-shard edges.
+func TestVerifyEmptyTableParallel(t *testing.T) {
+	l := openTestLedger(t, 100)
+	mustLedgerTable(t, l, "empty_tbl", engine.LedgerUpdateable)
+	rep, err := l.Verify(nil, VerifyOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("empty table failed verification:\n%s", rep)
+	}
+}
+
+// TestInvariant5HistoryIndexTamperParallel: the single-pass index check
+// still catches a corrupted nonclustered index on the *history* table.
+func TestInvariant5HistoryIndexTamperParallel(t *testing.T) {
+	l := openTestLedger(t, 100)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 30)
+	for i := 0; i < 30; i++ {
+		tx := l.Begin("u")
+		tx.Update(lt, account(acctName(i), int64(i)))
+		mustCommit(t, tx)
+	}
+	ix, err := l.Engine().CreateIndex(lt.History().Name(), "ix_hist_balance", "balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.Verify(nil, VerifyOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("pre-tamper verification failed:\n%s", rep)
+	}
+	var entryKey []byte
+	lt.History().ScanIndex(ix, func(ek, _ []byte) bool {
+		entryKey = append([]byte(nil), ek...)
+		return false
+	})
+	if err := l.Engine().TamperIndexEntry(lt.History(), ix, entryKey, []byte{0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = l.Verify(nil, VerifyOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, i := range rep.Issues {
+		if i.Invariant == 5 && strings.Contains(i.Detail, "ix_hist_balance") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("history index corruption not detected:\n%s", rep)
+	}
+}
+
+// TestVerifyReportsTiming: the Report carries phase timings (observability
+// for perf work) and prints them.
+func TestVerifyReportsTiming(t *testing.T) {
+	l := openTestLedger(t, 100)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	d := seedAccounts(t, l, lt, 20)
+	rep := verifyOK(t, l, []Digest{d})
+	if rep.Timing.Total <= 0 {
+		t.Fatalf("timing total = %v, want > 0", rep.Timing.Total)
+	}
+	if rep.Timing.Total < rep.Timing.Chain {
+		t.Fatalf("total %v < chain phase %v", rep.Timing.Total, rep.Timing.Chain)
+	}
+	if !strings.Contains(rep.String(), "timing:") {
+		t.Fatalf("report does not print timing:\n%s", rep)
+	}
+}

@@ -790,3 +790,102 @@ func TestRecoveryDeliversLedgerEntries(t *testing.T) {
 		}
 	}
 }
+
+func TestScanShardsCoverExactly(t *testing.T) {
+	db := openTestDB(t)
+	tab := mustCreate(t, db, "t", kvSchema())
+	const rows = 3000
+	for lo := 0; lo < rows; lo += 100 {
+		tx := db.Begin("u")
+		for i := lo; i < lo+100; i++ {
+			if _, err := tx.Insert(tab, kv(int64(i), fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		commit(t, db, tx)
+	}
+	var want []string
+	tab.Scan(func(k []byte, _ sqltypes.Row) bool {
+		want = append(want, string(k))
+		return true
+	})
+	for _, n := range []int{1, 2, 4, 8, 64} {
+		shards := tab.ScanShards(n)
+		if len(shards) == 0 {
+			t.Fatalf("n=%d: no shards", n)
+		}
+		if len(shards) > n {
+			t.Fatalf("n=%d: %d shards", n, len(shards))
+		}
+		var got []string
+		for _, kr := range shards {
+			tab.ScanRange(kr.Start, kr.End, func(k []byte, _ sqltypes.Row) bool {
+				got = append(got, string(k))
+				return true
+			})
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: sharded scan saw %d rows, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: row %d out of place", n, i)
+			}
+		}
+	}
+}
+
+func TestScanShardsEmptyTable(t *testing.T) {
+	db := openTestDB(t)
+	tab := mustCreate(t, db, "t", kvSchema())
+	shards := tab.ScanShards(8)
+	if len(shards) != 1 || shards[0].Start != nil || shards[0].End != nil {
+		t.Fatalf("empty table shards = %+v, want one unbounded range", shards)
+	}
+	rows := 0
+	tab.ScanRange(shards[0].Start, shards[0].End, func([]byte, sqltypes.Row) bool {
+		rows++
+		return true
+	})
+	if rows != 0 {
+		t.Fatalf("empty shard scanned %d rows", rows)
+	}
+}
+
+func TestScanIndexShardsCoverExactly(t *testing.T) {
+	db := openTestDB(t)
+	tab := mustCreate(t, db, "t", kvSchema())
+	ix, err := db.CreateIndex("t", "ix_v", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin("u")
+	for i := 0; i < 1500; i++ {
+		if _, err := tx.Insert(tab, kv(int64(i), fmt.Sprintf("v%05d", i*7%1500))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(t, db, tx)
+	var want []string
+	tab.ScanIndex(ix, func(ek, ck []byte) bool {
+		want = append(want, string(ek)+"\x00"+string(ck))
+		return true
+	})
+	for _, n := range []int{1, 3, 8} {
+		var got []string
+		for _, kr := range tab.ScanIndexShards(ix, n) {
+			tab.ScanIndexRange(ix, kr.Start, kr.End, func(ek, ck []byte) bool {
+				got = append(got, string(ek)+"\x00"+string(ck))
+				return true
+			})
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: sharded index scan saw %d entries, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: entry %d out of place", n, i)
+			}
+		}
+	}
+}

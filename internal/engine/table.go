@@ -174,6 +174,44 @@ func (t *Table) ScanRange(start, end []byte, fn func(key []byte, row sqltypes.Ro
 	t.rows.AscendRange(start, end, fn)
 }
 
+// KeyRange is a half-open range [Start, End) of encoded keys. A nil Start
+// begins at the smallest key; a nil End runs to the largest.
+type KeyRange struct {
+	Start, End []byte
+}
+
+// ScanShards partitions the clustered key space into up to n contiguous,
+// non-overlapping ranges that together cover every row, sized by the
+// B+tree's separator keys so parallel verification scans stay balanced.
+// It always returns at least one range; small tables may yield fewer than
+// n. Feed each range to ScanRange.
+func (t *Table) ScanShards(n int) []KeyRange {
+	t.mu.RLock()
+	bounds := t.rows.ShardBoundaries(n)
+	t.mu.RUnlock()
+	return rangesFrom(bounds)
+}
+
+// ScanIndexShards partitions an index's entry-key space the way ScanShards
+// partitions the clustered keys. Feed each range to ScanIndexRange.
+func (t *Table) ScanIndexShards(ix *Index, n int) []KeyRange {
+	t.mu.RLock()
+	bounds := ix.tree.ShardBoundaries(n)
+	t.mu.RUnlock()
+	return rangesFrom(bounds)
+}
+
+// rangesFrom turns sorted shard boundaries into covering key ranges.
+func rangesFrom(bounds [][]byte) []KeyRange {
+	ranges := make([]KeyRange, 0, len(bounds)+1)
+	var start []byte
+	for _, b := range bounds {
+		ranges = append(ranges, KeyRange{Start: start, End: b})
+		start = b
+	}
+	return append(ranges, KeyRange{Start: start})
+}
+
 // Indexes returns the table's nonclustered indexes.
 func (t *Table) Indexes() []*Index {
 	t.mu.RLock()
@@ -187,6 +225,14 @@ func (t *Table) ScanIndex(ix *Index, fn func(entryKey, clusteredKey []byte) bool
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	ix.tree.Ascend(fn)
+}
+
+// ScanIndexRange iterates index entries with start <= entryKey < end, in
+// index-key order, passing the base-table clustered key of each entry.
+func (t *Table) ScanIndexRange(ix *Index, start, end []byte, fn func(entryKey, clusteredKey []byte) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix.tree.AscendRange(start, end, fn)
 }
 
 // LookupIndexPrefix iterates base-table rows whose indexed columns equal

@@ -153,6 +153,61 @@ func (s *Streaming) Reset() {
 	s.count = 0
 }
 
+// Accumulator is an order-independent multiset accumulator over leaf
+// hashes: it sums hashes as 256-bit big-endian integers mod 2^256 and
+// counts them (the additive "MSet-Add-Hash" construction). Two
+// accumulators compare Equal iff they absorbed the same multiset of
+// hashes, under the usual additive-accumulator collision assumptions.
+//
+// Unlike Streaming, whose state depends on leaf order and cannot be
+// combined across partial streams, Accumulator is mergeable: disjoint
+// shards of a scan can accumulate independently and Merge their states,
+// which the sharded single-pass index verification (invariant 5) relies
+// on. Callers that need an ordering guarantee must check it separately —
+// the accumulator, by design, cannot see order.
+//
+// The zero Accumulator is empty and ready for use.
+type Accumulator struct {
+	sum   Hash
+	count uint64
+}
+
+// Add absorbs one leaf hash.
+func (a *Accumulator) Add(h Hash) {
+	addInto(&a.sum, h)
+	a.count++
+}
+
+// Merge absorbs another accumulator's state, as if every hash added to b
+// had been added to a.
+func (a *Accumulator) Merge(b Accumulator) {
+	addInto(&a.sum, b.sum)
+	a.count += b.count
+}
+
+// Count returns the number of hashes absorbed.
+func (a Accumulator) Count() uint64 { return a.count }
+
+// Equal reports whether both accumulators absorbed the same multiset of
+// hashes (same sum and same count).
+func (a Accumulator) Equal(b Accumulator) bool {
+	return a.count == b.count && a.sum == b.sum
+}
+
+// Sum returns the current 256-bit sum (not a preimage-resistant digest of
+// the multiset on its own; pair it with Count when reporting).
+func (a Accumulator) Sum() Hash { return a.sum }
+
+// addInto adds b into a as 256-bit big-endian integers mod 2^256.
+func addInto(a *Hash, b Hash) {
+	var carry uint16
+	for i := sha256.Size - 1; i >= 0; i-- {
+		s := uint16(a[i]) + uint16(b[i]) + carry
+		a[i] = byte(s)
+		carry = s >> 8
+	}
+}
+
 // RootOf computes the Merkle root over a slice of leaf hashes using the
 // same promotion rule as Streaming. It is the MERKLETREEAGG analogue used
 // by the verification queries.

@@ -261,3 +261,90 @@ func BenchmarkStreamingAppend(b *testing.B) {
 		s.Append(l)
 	}
 }
+
+// --- Accumulator (order-independent multiset, mergeable) -------------------
+
+func TestAccumulatorOrderIndependent(t *testing.T) {
+	hashes := make([]Hash, 50)
+	for i := range hashes {
+		hashes[i] = HashLeaf([]byte{byte(i), byte(i >> 8)})
+	}
+	var fwd, rev Accumulator
+	for _, h := range hashes {
+		fwd.Add(h)
+	}
+	for i := len(hashes) - 1; i >= 0; i-- {
+		rev.Add(hashes[i])
+	}
+	if !fwd.Equal(rev) {
+		t.Fatal("accumulator depends on insertion order")
+	}
+	if fwd.Count() != 50 {
+		t.Fatalf("count = %d", fwd.Count())
+	}
+}
+
+func TestAccumulatorMergeEquivalentToAdds(t *testing.T) {
+	var whole Accumulator
+	parts := make([]Accumulator, 4)
+	for i := 0; i < 100; i++ {
+		h := HashLeaf([]byte{byte(i)})
+		whole.Add(h)
+		parts[i%4].Add(h)
+	}
+	var merged Accumulator
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if !merged.Equal(whole) {
+		t.Fatal("merge of shard accumulators != single accumulator")
+	}
+}
+
+func TestAccumulatorDetectsDifferences(t *testing.T) {
+	var a, b Accumulator
+	a.Add(HashLeaf([]byte("x")))
+	b.Add(HashLeaf([]byte("y")))
+	if a.Equal(b) {
+		t.Fatal("different sets compare equal")
+	}
+	// Same sum, different count must not compare equal.
+	var empty, twice Accumulator
+	twice.Add(ZeroHash)
+	twice.Add(ZeroHash)
+	if empty.Sum() != twice.Sum() {
+		t.Fatal("zero hashes should sum to zero")
+	}
+	if empty.Equal(twice) {
+		t.Fatal("count mismatch not detected")
+	}
+	// A duplicated element must not cancel out (unlike XOR).
+	var one, three Accumulator
+	h := HashLeaf([]byte("dup"))
+	one.Add(h)
+	three.Add(h)
+	three.Add(h)
+	three.Add(h)
+	if one.Sum() == three.Sum() {
+		t.Fatal("duplicate additions cancelled")
+	}
+}
+
+func TestAccumulatorCarryPropagation(t *testing.T) {
+	var all1 Hash
+	for i := range all1 {
+		all1[i] = 0xFF
+	}
+	var a Accumulator
+	a.Add(all1)
+	a.Add(all1) // 2*(2^256-1) mod 2^256 = 2^256-2: ...FFFE
+	sum := a.Sum()
+	for i := 0; i < len(sum)-1; i++ {
+		if sum[i] != 0xFF {
+			t.Fatalf("byte %d = %x, want ff", i, sum[i])
+		}
+	}
+	if sum[len(sum)-1] != 0xFE {
+		t.Fatalf("last byte = %x, want fe", sum[len(sum)-1])
+	}
+}

@@ -62,6 +62,8 @@ type (
 	Issue = core.Issue
 	// VerifyOptions tunes verification.
 	VerifyOptions = core.VerifyOptions
+	// VerifyTiming breaks down where a verification run spent its time.
+	VerifyTiming = core.Timing
 	// Receipt is a non-repudiation transaction receipt.
 	Receipt = core.Receipt
 	// LedgerViewRow is one row of a table's ledger view.
