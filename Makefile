@@ -3,6 +3,16 @@
 test:
 	go build ./... && go test ./...
 
+# Fail if any file is not gofmt-clean.
+.PHONY: fmt-check
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+.PHONY: vet
+vet:
+	go vet ./...
+
 # Race-enabled run of the core verification tests: the sharded scans,
 # worker-pool hashing and single-pass index checks are concurrent, so
 # exercise them under the race detector.
@@ -11,6 +21,15 @@ test-race-verify:
 	go test -race ./internal/core/ -run Verify
 	go test -race ./internal/engine/ -run Scan
 
+# Race-enabled commit stress: N goroutines hammering the staged
+# group-commit pipeline at every layer (WAL group committer, engine commit
+# stages, ledger ordinal assignment and crash recovery).
+.PHONY: test-race-commit
+test-race-commit:
+	go test -race ./internal/wal/ -run Group
+	go test -race ./internal/engine/ -run Commit
+	go test -race ./internal/core/ -run 'ConcurrentCommit|GroupCommitCrash'
+
 # Verification benchmarks (Figure 9 + the parallelism ablation), with
 # allocation stats so hot-path regressions are visible.
 .PHONY: bench-verify
@@ -18,5 +37,10 @@ bench-verify:
 	go test -run - -bench 'Figure9|VerificationParallelism' -benchmem .
 	go test -run - -bench 'HashRow' -benchmem ./internal/serial/
 
+# Commit-scaling benchmark: group vs. serialized pipeline under SyncFull.
+.PHONY: bench-commit
+bench-commit:
+	go test -run - -bench CommitConcurrent -benchtime 2000x .
+
 .PHONY: check
-check: test test-race-verify
+check: fmt-check vet test test-race-verify test-race-commit

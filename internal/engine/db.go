@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sqlledger/internal/sqltypes"
@@ -47,6 +48,9 @@ type Options struct {
 	LockTimeout time.Duration
 	// Hook, if set, receives ledger callbacks.
 	Hook LedgerHook
+	// GroupCommit tunes WAL group commit (the zero value enables it with
+	// defaults; set Disabled for the serialized ablation path).
+	GroupCommit wal.GroupConfig
 }
 
 // DB is an embedded relational database.
@@ -59,11 +63,16 @@ type DB struct {
 
 	log   *wal.Log
 	locks *lockTable
+	// committer batches concurrent commits into shared-flush write groups;
+	// nil when Options.GroupCommit.Disabled.
+	committer *wal.GroupCommitter
 
-	// commitMu serializes the commit critical section (timestamp + block
-	// assignment + WAL append).
+	// commitMu serializes only the sequencing stage of the commit pipeline:
+	// monotonic timestamp assignment, ledger block/ordinal assignment, and
+	// publication to the group committer (so WAL order matches ordinal
+	// order). Durability and apply happen outside it.
 	commitMu     sync.Mutex
-	lastCommitTS int64
+	lastCommitTS atomic.Int64
 
 	// quiesce: commits and DDL hold RLock; checkpoint/restore hold Lock.
 	quiesce sync.RWMutex
@@ -103,6 +112,9 @@ func Open(opts Options) (*DB, error) {
 		log.Close()
 		return nil, err
 	}
+	if !opts.GroupCommit.Disabled {
+		db.committer = wal.NewGroupCommitter(log, opts.GroupCommit)
+	}
 	return db, nil
 }
 
@@ -115,6 +127,11 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
+	if db.committer != nil {
+		if err := db.committer.Close(); err != nil {
+			return err
+		}
+	}
 	return db.log.Close()
 }
 
@@ -125,11 +142,23 @@ func (db *DB) Dir() string { return db.opts.Dir }
 func (db *DB) LogSize() int64 { return db.log.Size() }
 
 // LastCommitTS returns the commit timestamp (unix nanoseconds) of the most
-// recently committed transaction.
+// recently committed transaction. It reads an atomic, so read-only commits
+// and digest generation never contend on the commit critical section.
 func (db *DB) LastCommitTS() int64 {
-	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
-	return db.lastCommitTS
+	return db.lastCommitTS.Load()
+}
+
+// FsyncCount returns how many WAL fsyncs have been performed since open
+// (nonzero only under wal.SyncFull).
+func (db *DB) FsyncCount() int64 { return db.log.SyncCount() }
+
+// GroupCommitStats returns the WAL group committer's counters (all zero
+// when group commit is disabled).
+func (db *DB) GroupCommitStats() wal.GroupStats {
+	if db.committer == nil {
+		return wal.GroupStats{}
+	}
+	return db.committer.Stats()
 }
 
 // Table returns the runtime table for a (non-dropped) name.
@@ -183,10 +212,15 @@ func (db *DB) Begin(user string) *Tx {
 	}
 }
 
-// Commit atomically applies and durably logs the transaction. If the
-// transaction carries ledger roots and a hook is configured, the ledger
-// entry is built inside the commit critical section and embedded in the
-// COMMIT record (§3.3.2). Returns the commit timestamp.
+// Commit atomically applies and durably logs the transaction through a
+// staged pipeline: sequence (commit timestamp and, for ledger
+// transactions, block/ordinal assignment under commitMu, §3.3.2) →
+// publish (hand the WAL batch to the group committer while still holding
+// commitMu, so WAL commit-record order equals ledger ordinal order) →
+// wait (durability, amortized across the write group — one fsync per
+// group under SyncFull) → apply (install writes and release row locks).
+// Row locks stay held until apply, so isolation is exactly what the
+// fully serialized path provided. Returns the commit timestamp.
 func (db *DB) Commit(tx *Tx) (int64, error) {
 	if tx.done {
 		return 0, ErrTxDone
@@ -210,12 +244,13 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 		})
 	}
 
+	// Stage 1 — sequence.
 	db.commitMu.Lock()
 	now := time.Now().UnixNano()
-	if now <= db.lastCommitTS {
-		now = db.lastCommitTS + 1
+	if last := db.lastCommitTS.Load(); now <= last {
+		now = last + 1
 	}
-	db.lastCommitTS = now
+	db.lastCommitTS.Store(now)
 
 	var entry *wal.LedgerEntry
 	if len(tx.Roots) > 0 && db.opts.Hook != nil {
@@ -234,8 +269,19 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 		TxID:    tx.id,
 		Payload: wal.EncodeCommit(wal.CommitPayload{CommitTS: now, User: tx.user, Entry: entry}),
 	})
-	_, err := db.log.AppendBatch(recs)
-	db.commitMu.Unlock()
+
+	// Stages 2 and 3 — publish, then wait for durability off the
+	// critical section. The serialized path (GroupCommit.Disabled) keeps
+	// the append inside commitMu like the pre-pipeline engine did.
+	var err error
+	if db.committer != nil {
+		ticket := db.committer.Enqueue(recs)
+		db.commitMu.Unlock()
+		_, err = ticket.Wait()
+	} else {
+		_, err = db.log.AppendBatch(recs)
+		db.commitMu.Unlock()
+	}
 	if err != nil {
 		// Known limitation: if the log write fails (disk full, I/O error)
 		// after the ledger hook assigned a block position, that ordinal
@@ -246,7 +292,7 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 		return 0, fmt.Errorf("engine: commit log: %w", err)
 	}
 
-	// Apply to shared storage while still holding row locks, so
+	// Stage 4 — apply to shared storage while still holding row locks, so
 	// conflicting transactions observe this one fully.
 	db.applyWrites(tx.writes)
 	tx.done = true
@@ -528,8 +574,8 @@ func (db *DB) recover() error {
 			}
 			db.applyWrites(pending[rec.TxID])
 			delete(pending, rec.TxID)
-			if p.CommitTS > db.lastCommitTS {
-				db.lastCommitTS = p.CommitTS
+			if p.CommitTS > db.lastCommitTS.Load() {
+				db.lastCommitTS.Store(p.CommitTS)
 			}
 			if p.Entry != nil {
 				entries = append(entries, p.Entry)

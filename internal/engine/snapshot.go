@@ -113,7 +113,7 @@ func (db *DB) writeSnapshot(lsn int64, ledgerBlob []byte) error {
 		return err
 	}
 	var tsBuf [8]byte
-	binary.LittleEndian.PutUint64(tsBuf[:], uint64(db.lastCommitTS))
+	binary.LittleEndian.PutUint64(tsBuf[:], uint64(db.lastCommitTS.Load()))
 	if _, err := cw.Write(tsBuf[:]); err != nil {
 		return err
 	}
@@ -317,6 +317,6 @@ func (db *DB) loadSnapshot(path string) error {
 	}
 	db.cat = cat
 	db.tables = tables
-	db.lastCommitTS = lastTS
+	db.lastCommitTS.Store(lastTS)
 	return nil
 }

@@ -1,0 +1,216 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCommitterClosed is returned to commits enqueued after Close.
+var ErrCommitterClosed = errors.New("wal: group committer closed")
+
+// GroupConfig tunes the group committer. The zero value enables group
+// commit with defaults.
+type GroupConfig struct {
+	// MaxBatch caps how many commit batches one write group may absorb
+	// (default 64). Larger groups amortize one flush over more commits.
+	MaxBatch int
+	// MaxDelay is how long the flusher lingers after waking, waiting for
+	// more commits to join the group (default 0: write as soon as the
+	// flusher is free). Batching still happens with MaxDelay 0 — commits
+	// arriving while a previous group is being flushed pile up and share
+	// the next flush — so the knob only matters when flushes are cheaper
+	// than the inter-arrival gap.
+	MaxDelay time.Duration
+	// Disabled reverts to the serialized commit path: every commit
+	// appends and flushes the log itself, inside the engine's commit
+	// critical section. Kept as the ablation baseline for benchmarks.
+	Disabled bool
+}
+
+const defaultMaxBatch = 64
+
+// GroupStats counts group committer activity since open.
+type GroupStats struct {
+	Commits int64 // commit batches enqueued
+	Groups  int64 // write groups flushed (one log flush each)
+	Records int64 // records appended through the committer
+}
+
+type commitReq struct {
+	recs []Record
+	lsn  int64
+	err  error
+	done chan struct{}
+}
+
+// Ticket is a pending group commit returned by Enqueue.
+type Ticket struct{ req *commitReq }
+
+// Wait blocks until the commit's write group has been appended and
+// flushed per the log's SyncMode, returning the LSN of the commit's
+// first record.
+func (t *Ticket) Wait() (int64, error) {
+	<-t.req.done
+	return t.req.lsn, t.req.err
+}
+
+// GroupCommitter batches concurrent commit appends into write groups that
+// share one log flush (one fsync under SyncFull). Enqueue order equals
+// log order, so a caller that sequences commits before enqueueing keeps
+// its ordering invariants in the log — the engine relies on this to keep
+// WAL commit-record order identical to ledger ordinal order.
+type GroupCommitter struct {
+	log *Log
+	cfg GroupConfig
+
+	mu      sync.Mutex
+	pending []*commitReq
+	closed  bool
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	commits atomic.Int64
+	groups  atomic.Int64
+	records atomic.Int64
+}
+
+// NewGroupCommitter starts a group committer (and its flusher goroutine)
+// over l.
+func NewGroupCommitter(l *Log, cfg GroupConfig) *GroupCommitter {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = defaultMaxBatch
+	}
+	g := &GroupCommitter{
+		log:  l,
+		cfg:  cfg,
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go g.run()
+	return g
+}
+
+// Enqueue submits one commit's records for group durability and returns
+// immediately; the caller Waits on the ticket outside its critical
+// section. Requests are written in enqueue order.
+func (g *GroupCommitter) Enqueue(recs []Record) *Ticket {
+	req := &commitReq{recs: recs, done: make(chan struct{})}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		req.err = ErrCommitterClosed
+		close(req.done)
+		return &Ticket{req: req}
+	}
+	g.pending = append(g.pending, req)
+	g.mu.Unlock()
+	g.commits.Add(1)
+	select {
+	case g.wake <- struct{}{}:
+	default:
+	}
+	return &Ticket{req: req}
+}
+
+// Stats returns activity counters.
+func (g *GroupCommitter) Stats() GroupStats {
+	return GroupStats{
+		Commits: g.commits.Load(),
+		Groups:  g.groups.Load(),
+		Records: g.records.Load(),
+	}
+}
+
+// Close flushes all pending commits and stops the flusher. Enqueues after
+// Close fail with ErrCommitterClosed. Safe to call more than once.
+func (g *GroupCommitter) Close() error {
+	g.mu.Lock()
+	already := g.closed
+	g.closed = true
+	g.mu.Unlock()
+	if !already {
+		close(g.stop)
+	}
+	<-g.done
+	return nil
+}
+
+func (g *GroupCommitter) run() {
+	defer close(g.done)
+	for {
+		select {
+		case <-g.stop:
+			for g.flushGroup() {
+			}
+			return
+		case <-g.wake:
+		}
+		if g.cfg.MaxDelay > 0 {
+			g.linger()
+		}
+		for g.flushGroup() {
+		}
+	}
+}
+
+// linger waits up to MaxDelay for the pending queue to reach MaxBatch,
+// letting slightly staggered commits join the same group.
+func (g *GroupCommitter) linger() {
+	timer := time.NewTimer(g.cfg.MaxDelay)
+	defer timer.Stop()
+	for {
+		g.mu.Lock()
+		n := len(g.pending)
+		g.mu.Unlock()
+		if n >= g.cfg.MaxBatch {
+			return
+		}
+		select {
+		case <-timer.C:
+			return
+		case <-g.stop:
+			return
+		case <-g.wake:
+		}
+	}
+}
+
+// flushGroup writes one group (up to MaxBatch pending commits) with a
+// single flush, wakes its waiters, and reports whether any work was done.
+func (g *GroupCommitter) flushGroup() bool {
+	g.mu.Lock()
+	n := len(g.pending)
+	if n == 0 {
+		g.mu.Unlock()
+		return false
+	}
+	if n > g.cfg.MaxBatch {
+		n = g.cfg.MaxBatch
+	}
+	group := g.pending[:n:n]
+	g.pending = append([]*commitReq(nil), g.pending[n:]...)
+	g.mu.Unlock()
+
+	batches := make([][]Record, len(group))
+	nrec := 0
+	for i, req := range group {
+		batches[i] = req.recs
+		nrec += len(req.recs)
+	}
+	lsns, err := g.log.AppendGroup(batches)
+	for i, req := range group {
+		if err == nil {
+			req.lsn = lsns[i]
+		}
+		req.err = err
+		close(req.done)
+	}
+	g.groups.Add(1)
+	g.records.Add(int64(nrec))
+	return true
+}

@@ -1,0 +1,175 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTestLogMode(t *testing.T, mode SyncMode) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, mode)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, path
+}
+
+// commitBatch builds a tiny DML+COMMIT batch tagged with txID.
+func commitBatch(txID uint64) []Record {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], txID)
+	return []Record{
+		{Type: RecInsert, TxID: txID, Payload: p[:]},
+		{Type: RecCommit, TxID: txID, Payload: p[:]},
+	}
+}
+
+// TestGroupCommitOrderMatchesEnqueue pins the ordering invariant the
+// engine depends on: batches land in the log in enqueue order, whatever
+// the flusher's grouping.
+func TestGroupCommitOrderMatchesEnqueue(t *testing.T) {
+	l, path := openTestLogMode(t, SyncBuffered)
+	g := NewGroupCommitter(l, GroupConfig{MaxBatch: 3})
+	const n = 100
+	tickets := make([]*Ticket, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := uint64(0)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Sequence + enqueue under one lock, as the engine does
+				// under commitMu.
+				mu.Lock()
+				if next >= n {
+					mu.Unlock()
+					return
+				}
+				id := next
+				next++
+				tk := g.Enqueue(commitBatch(id))
+				mu.Unlock()
+				if _, err := tk.Wait(); err != nil {
+					t.Errorf("wait: %v", err)
+					return
+				}
+				tickets[id] = tk
+			}
+		}()
+	}
+	wg.Wait()
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs := readAll(t, path)
+	if len(recs) != 2*n {
+		t.Fatalf("got %d records, want %d", len(recs), 2*n)
+	}
+	for i, rec := range recs {
+		wantTx := uint64(i / 2)
+		if rec.TxID != wantTx {
+			t.Fatalf("record %d: txID %d, want %d (log order != enqueue order)", i, rec.TxID, wantTx)
+		}
+	}
+	// Ticket LSNs must agree with where the batches actually landed.
+	for id, tk := range tickets {
+		lsn, _ := tk.Wait()
+		if lsn != recs[2*id].LSN {
+			t.Fatalf("tx %d: ticket LSN %d, log LSN %d", id, lsn, recs[2*id].LSN)
+		}
+	}
+	st := g.Stats()
+	if st.Commits != n || st.Records != 2*n {
+		t.Fatalf("stats = %+v, want %d commits / %d records", st, n, 2*n)
+	}
+	if st.Groups < (n+2)/3 {
+		t.Fatalf("groups = %d, below minimum for MaxBatch=3", st.Groups)
+	}
+}
+
+// TestGroupCommitAmortizesFsync checks the whole point: under SyncFull
+// with concurrent committers, fsyncs per commit fall well below one.
+func TestGroupCommitAmortizesFsync(t *testing.T) {
+	l, _ := openTestLogMode(t, SyncFull)
+	g := NewGroupCommitter(l, GroupConfig{MaxDelay: 2 * time.Millisecond})
+	defer g.Close()
+	const clients, perClient = 4, 25
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				tk := g.Enqueue(commitBatch(uint64(c*perClient + i)))
+				if _, err := tk.Wait(); err != nil {
+					t.Errorf("wait: %v", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	total := int64(clients * perClient)
+	if syncs := l.SyncCount(); syncs*2 >= total {
+		t.Fatalf("%d fsyncs for %d commits: group commit is not amortizing", syncs, total)
+	}
+}
+
+// TestGroupCommitSyncModes runs the committer under every SyncMode and
+// checks the records read back intact.
+func TestGroupCommitSyncModes(t *testing.T) {
+	for _, mode := range []SyncMode{SyncNone, SyncBuffered, SyncFull} {
+		t.Run(fmt.Sprintf("mode=%d", mode), func(t *testing.T) {
+			l, path := openTestLogMode(t, mode)
+			g := NewGroupCommitter(l, GroupConfig{})
+			for i := 0; i < 10; i++ {
+				if _, err := g.Enqueue(commitBatch(uint64(i))).Wait(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := g.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil { // SyncNone buffers until close
+				t.Fatal(err)
+			}
+			if got := len(readAll(t, path)); got != 20 {
+				t.Fatalf("read back %d records, want 20", got)
+			}
+		})
+	}
+}
+
+// TestGroupCommitClose drains pending work on Close and rejects later
+// enqueues.
+func TestGroupCommitClose(t *testing.T) {
+	l, path := openTestLogMode(t, SyncBuffered)
+	g := NewGroupCommitter(l, GroupConfig{MaxDelay: 50 * time.Millisecond})
+	tk := g.Enqueue(commitBatch(1))
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatalf("pending commit dropped at close: %v", err)
+	}
+	if _, err := g.Enqueue(commitBatch(2)).Wait(); err != ErrCommitterClosed {
+		t.Fatalf("enqueue after close: err = %v, want ErrCommitterClosed", err)
+	}
+	if err := g.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if got := len(readAll(t, path)); got != 2 {
+		t.Fatalf("read back %d records, want 2", got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // RecordType identifies a log record.
@@ -87,11 +88,12 @@ const (
 // methods are safe for concurrent use; Append serializes internally so
 // LSNs reflect append order.
 type Log struct {
-	mu   sync.Mutex
-	f    *os.File
-	w    *bufio.Writer
-	size int64
-	mode SyncMode
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	size  int64
+	mode  SyncMode
+	syncs atomic.Int64
 }
 
 const headerLen = 4 + 4 + 1 + 8 // len + crc + type + txid
@@ -166,6 +168,21 @@ func (l *Log) Append(t RecordType, txID uint64, payload []byte) (int64, error) {
 }
 
 func (l *Log) appendLocked(t RecordType, txID uint64, payload []byte) (int64, error) {
+	lsn, err := l.writeRecordLocked(t, txID, payload)
+	if err != nil {
+		return 0, err
+	}
+	if t == RecCommit || t == RecCheckpoint {
+		if err := l.flushLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// writeRecordLocked encodes one record into the buffered writer without
+// flushing; callers decide when durability happens.
+func (l *Log) writeRecordLocked(t RecordType, txID uint64, payload []byte) (int64, error) {
 	lsn := l.size
 	var hdr [headerLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -181,11 +198,6 @@ func (l *Log) appendLocked(t RecordType, txID uint64, payload []byte) (int64, er
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.size += headerLen + int64(len(payload))
-	if t == RecCommit || t == RecCheckpoint {
-		if err := l.flushLocked(); err != nil {
-			return 0, err
-		}
-	}
 	return lsn, nil
 }
 
@@ -201,6 +213,28 @@ func (l *Log) AppendBatch(recs []Record) (int64, error) {
 		}
 	}
 	return first, nil
+}
+
+// AppendGroup appends the record batches of a whole commit group and
+// flushes once at the end, so every commit in the group shares a single
+// flush (one fsync under SyncFull). Batches are written in slice order;
+// the returned slice holds the first LSN of each batch.
+func (l *Log) AppendGroup(batches [][]Record) ([]int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsns := make([]int64, len(batches))
+	for i, recs := range batches {
+		lsns[i] = l.size
+		for _, r := range recs {
+			if _, err := l.writeRecordLocked(r.Type, r.TxID, r.Payload); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := l.flushLocked(); err != nil {
+		return nil, err
+	}
+	return lsns, nil
 }
 
 func (l *Log) flushLocked() error {
@@ -219,6 +253,7 @@ func (l *Log) flushLocked() error {
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
+		l.syncs.Add(1)
 		return nil
 	}
 	return fmt.Errorf("wal: unknown sync mode %d", l.mode)
@@ -230,6 +265,11 @@ func (l *Log) Flush() error {
 	defer l.mu.Unlock()
 	return l.flushLocked()
 }
+
+// SyncCount returns how many fsyncs the log has performed since Open
+// (always zero outside SyncFull). The group committer's amortization is
+// measured as SyncCount growth per committed transaction.
+func (l *Log) SyncCount() int64 { return l.syncs.Load() }
 
 // Size returns the current end-of-log offset (the LSN the next record
 // will receive).

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DriveResult summarizes one concurrent driver run.
+type DriveResult struct {
+	Commits int64
+	Errors  int64
+	Elapsed time.Duration
+}
+
+// TPS returns committed transactions per second.
+func (r DriveResult) TPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Commits) / r.Elapsed.Seconds()
+}
+
+// Drive runs `clients` goroutines for `dur`, each repeatedly invoking the
+// op returned by newClient(id). A nil op error counts as a commit,
+// anything else as an error. It is the driver behind the commit-scaling
+// experiment: the ops are expected to be single transactions, so TPS()
+// directly measures commit throughput at the given concurrency.
+func Drive(clients int, dur time.Duration, newClient func(id int) func() error) DriveResult {
+	return drive(clients, func(stop *atomic.Bool) bool { return !stop.Load() }, dur, newClient)
+}
+
+// DriveN is Drive with a shared budget of exactly n ops instead of a
+// deadline: clients race to take work until the budget is exhausted.
+// Useful under `go test -bench`, where b.N sets the total op count.
+func DriveN(clients, n int, newClient func(id int) func() error) DriveResult {
+	var budget atomic.Int64
+	budget.Store(int64(n))
+	return drive(clients, func(*atomic.Bool) bool { return budget.Add(-1) >= 0 }, 0, newClient)
+}
+
+func drive(clients int, next func(stop *atomic.Bool) bool, dur time.Duration, newClient func(id int) func() error) DriveResult {
+	if clients < 1 {
+		clients = 1
+	}
+	var stop atomic.Bool
+	var commits, errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			op := newClient(g)
+			for next(&stop) {
+				if err := op(); err != nil {
+					errs.Add(1)
+				} else {
+					commits.Add(1)
+				}
+			}
+		}(g)
+	}
+	if dur > 0 {
+		time.Sleep(dur)
+		stop.Store(true)
+	}
+	wg.Wait()
+	return DriveResult{Commits: commits.Load(), Errors: errs.Load(), Elapsed: time.Since(start)}
+}
