@@ -30,6 +30,23 @@ test-race-commit:
 	go test -race ./internal/engine/ -run Commit
 	go test -race ./internal/core/ -run 'ConcurrentCommit|GroupCommitCrash'
 
+# Race-enabled observability tests: the registry, histogram and tracer
+# are hit from every commit goroutine, so prove the layer race-free and
+# exercise the instrumented end-to-end path under -race too.
+.PHONY: test-race-obs
+test-race-obs:
+	go test -race ./internal/obs/
+	go test -race ./internal/core/ -run Observability
+	go test -race ./internal/workload/ -run Drive
+
+# Smoke-test the live metrics endpoint: a short ledgerbench commit run
+# serving /metrics on an ephemeral port; the binary self-checks that the
+# endpoint answers with the headline series before exiting.
+.PHONY: bench-smoke
+bench-smoke:
+	go run ./cmd/ledgerbench -exp commit -duration 1s \
+		-metrics-addr 127.0.0.1:0 -stats-every 2s
+
 # Verification benchmarks (Figure 9 + the parallelism ablation), with
 # allocation stats so hot-path regressions are visible.
 .PHONY: bench-verify
@@ -43,4 +60,4 @@ bench-commit:
 	go test -run - -bench CommitConcurrent -benchtime 2000x .
 
 .PHONY: check
-check: fmt-check vet test test-race-verify test-race-commit
+check: fmt-check vet test test-race-verify test-race-commit test-race-obs

@@ -220,6 +220,61 @@ func BenchmarkDigestGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkInstrumentationOverhead prices the observability layer on the
+// hot commit path: the same single-row-insert commit loop with the
+// default (enabled) registry and with metrics disabled. The delta is the
+// full cost of counters, stage timers and span hooks; the budget is <2%
+// on durable (SyncFull) commits, the configuration the paper's commit
+// experiments use. The buffered mode exposes the absolute per-commit
+// cost, since there is no fsync to hide behind.
+func BenchmarkInstrumentationOverhead(b *testing.B) {
+	modes := []struct {
+		name string
+		obs  func() *sqlledger.MetricsRegistry
+	}{
+		{"metrics=on", sqlledger.NewMetricsRegistry},
+		{"metrics=off", sqlledger.DisabledMetrics},
+	}
+	syncs := []struct {
+		name string
+		mode sqlledger.SyncMode
+	}{
+		{"sync=buffered", sqlledger.SyncBuffered},
+		{"sync=full", sqlledger.SyncFull},
+	}
+	for _, sync := range syncs {
+		for _, mode := range modes {
+			b.Run(sync.name+"/"+mode.name, func(b *testing.B) {
+				db, err := sqlledger.Open(sqlledger.Options{
+					Dir: b.TempDir(), Name: "bench",
+					BlockSize:   sqlledger.DefaultBlockSize,
+					Sync:        sync.mode,
+					LockTimeout: 5 * time.Second,
+					Obs:         mode.obs(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				lt, err := db.CreateLedgerTable("t", fig8Schema(), sqlledger.Updateable)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tx := db.Begin("bench")
+					if err := tx.Insert(lt, fig8Row(int64(i))); err != nil {
+						b.Fatal(err)
+					}
+					if err := tx.Commit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkReceipt measures receipt generation and offline verification.
 func BenchmarkReceipt(b *testing.B) {
 	db := benchDB(b)

@@ -413,7 +413,7 @@ func BenchmarkCommitConcurrent(b *testing.B) {
 				})
 				b.StopTimer()
 				if res.Errors > 0 {
-					b.Fatalf("%d commit errors", res.Errors)
+					b.Fatalf("%d commit errors: %v", res.Errors, res.Err)
 				}
 				after := db.CommitStats()
 				b.ReportMetric(res.TPS(), "commits/s")

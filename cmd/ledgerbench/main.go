@@ -17,15 +17,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sqlledger"
 	"sqlledger/internal/engine"
+	"sqlledger/internal/obs"
 	"sqlledger/internal/simchain"
 	"sqlledger/internal/workload"
 )
@@ -43,7 +47,18 @@ var (
 	// overheads sit on top of SQL Server's substantial per-transaction
 	// base cost; see EXPERIMENTS.md.
 	baseCost = flag.Duration("basecost", 0, "modeled per-transaction base cost added to every transaction (fig7)")
+	// metricsAddr serves the shared registry live while experiments run:
+	// /metrics (Prometheus text) and /debug/spans (JSON). "127.0.0.1:0"
+	// picks a free port (printed at startup).
+	metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/spans on this address (empty: off)")
+	statsEvery  = flag.Duration("stats-every", 0, "print a periodic stats line from the metrics registry (0: off)")
 )
+
+// reg is shared by every database the benchmark opens, so the stats
+// printer and /metrics endpoint see the whole run.
+var reg = sqlledger.NewMetricsRegistry()
+
+func init() { workload.Instrument(reg) }
 
 // burn spins for roughly d (sleeping is too coarse below ~1ms).
 func burn(d time.Duration) {
@@ -65,6 +80,19 @@ func main() {
 			fatal(err)
 		}
 		defer os.RemoveAll(base)
+	}
+	var srv *sqlledger.MetricsServer
+	if *metricsAddr != "" {
+		var err error
+		srv, err = sqlledger.StartMetricsServer(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics: http://%s/metrics  spans: http://%s/debug/spans\n", srv.Addr(), srv.Addr())
+	}
+	if *statsEvery > 0 {
+		stop := startStatsPrinter(*statsEvery)
+		defer stop()
 	}
 	switch *expFlag {
 	case "fig7":
@@ -89,6 +117,77 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *expFlag))
 	}
+	if srv != nil {
+		selfCheckMetrics(srv.Addr())
+		srv.Close()
+	}
+}
+
+// selfCheckMetrics fetches the live /metrics endpoint at the end of the
+// run and fails loudly if it is unreachable, malformed, or missing the
+// headline series — so CI catches endpoint regressions without an
+// external curl.
+func selfCheckMetrics(addr string) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		fatal(fmt.Errorf("metrics self-check: %w", err))
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fatal(fmt.Errorf("metrics self-check: %w", err))
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("metrics self-check: status %d", resp.StatusCode))
+	}
+	for _, want := range []string{obs.WALFsyncTotal, obs.CommitStageSeconds, obs.VerifyPhaseSeconds} {
+		if !strings.Contains(string(body), want) {
+			fatal(fmt.Errorf("metrics self-check: /metrics is missing %s", want))
+		}
+	}
+	fmt.Printf("metrics self-check ok (%d bytes from /metrics)\n", len(body))
+}
+
+// startStatsPrinter prints one line per interval from the shared
+// registry — commit and fsync rates plus commit-stage p95s — replacing
+// the bespoke per-experiment counters for live monitoring.
+func startStatsPrinter(every time.Duration) (stop func()) {
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		var lastCommits, lastFsyncs int64
+		last := time.Now()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-ticker.C:
+			}
+			snap := reg.Snapshot()
+			now := time.Now()
+			dt := now.Sub(last).Seconds()
+			commits := snap.CounterValue(obs.EngineCommitTotal)
+			fsyncs := snap.CounterValue(obs.WALFsyncTotal)
+			queue, _ := snap.GaugeValue(obs.LedgerQueueLength)
+			line := fmt.Sprintf("[stats] commits/s=%.0f fsyncs/s=%.0f queue=%.0f",
+				float64(commits-lastCommits)/dt, float64(fsyncs-lastFsyncs)/dt, queue)
+			if h, ok := snap.Histogram(obs.CommitStageSeconds, sqlledger.MetricLabel{Key: "stage", Value: "wait"}); ok && h.Count > 0 {
+				line += fmt.Sprintf(" wait_p95=%s", time.Duration(h.P95*float64(time.Second)).Round(time.Microsecond))
+			}
+			if h, ok := snap.Histogram(obs.WALFsyncSeconds); ok && h.Count > 0 {
+				line += fmt.Sprintf(" fsync_p95=%s", time.Duration(h.P95*float64(time.Second)).Round(time.Microsecond))
+			}
+			fmt.Println(line)
+			lastCommits, lastFsyncs, last = commits, fsyncs, now
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-doneCh
+	}
 }
 
 func fatal(err error) {
@@ -101,6 +200,7 @@ func openDB(base, name string) *sqlledger.DB {
 		Dir: filepath.Join(base, name), Name: name,
 		BlockSize:   sqlledger.DefaultBlockSize,
 		LockTimeout: 5 * time.Second,
+		Obs:         reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -486,6 +586,7 @@ func commitScaling(base string) {
 				Sync:        sqlledger.SyncFull,
 				LockTimeout: 5 * time.Second,
 				GroupCommit: cfg,
+				Obs:         reg,
 			})
 			if err != nil {
 				fatal(err)
@@ -509,7 +610,7 @@ func commitScaling(base string) {
 			})
 			after := db.CommitStats()
 			if res.Errors > 0 {
-				fatal(fmt.Errorf("commit scaling: %d errors at %s/%d", res.Errors, pipeline, clients))
+				fatal(fmt.Errorf("commit scaling: %d errors at %s/%d: %w", res.Errors, pipeline, clients, res.Err))
 			}
 			fsyncPerCommit := float64(after.Fsyncs-before.Fsyncs) / float64(res.Commits)
 			avgGroup := "-"

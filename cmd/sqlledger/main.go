@@ -33,6 +33,7 @@ import (
 
 var dbDir = flag.String("db", "./ledgerdb", "database directory")
 var user = flag.String("user", "cli", "principal recorded for transactions")
+var metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/spans on this address while the command runs (empty: off)")
 
 func main() {
 	flag.Parse()
@@ -40,7 +41,16 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
-	db, err := sqlledger.Open(sqlledger.Options{Dir: *dbDir, BlockSize: 1000})
+	reg := sqlledger.NewMetricsRegistry()
+	if *metricsAddr != "" {
+		srv, err := sqlledger.StartMetricsServer(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	}
+	db, err := sqlledger.Open(sqlledger.Options{Dir: *dbDir, BlockSize: 1000, Obs: reg})
 	if err != nil {
 		fatal(err)
 	}

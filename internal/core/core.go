@@ -28,6 +28,7 @@ import (
 
 	"sqlledger/internal/engine"
 	"sqlledger/internal/merkle"
+	"sqlledger/internal/obs"
 	"sqlledger/internal/serial"
 	"sqlledger/internal/sqltypes"
 	"sqlledger/internal/wal"
@@ -68,6 +69,11 @@ type Options struct {
 	// MaxReplicaDelay bounds how long digest generation waits for the
 	// secondary before failing with ErrReplicationBehind (default 5s).
 	MaxReplicaDelay time.Duration
+	// Obs receives metrics and spans from every layer of the database:
+	// WAL, commit pipeline, block closing, digests and verification. nil
+	// creates a private enabled registry; pass obs.Disabled() to turn
+	// recording off.
+	Obs *obs.Registry
 }
 
 // System table names.
@@ -122,6 +128,49 @@ type LedgerDB struct {
 
 	doneCh   chan struct{}
 	closedDB bool
+
+	obs *obs.Registry
+	m   ledgerMetrics
+}
+
+// ledgerMetrics holds the core's metric handles, resolved once at Open.
+type ledgerMetrics struct {
+	blocksClosed        *obs.Counter
+	blockCloseSeconds   *obs.Histogram
+	queueLength         *obs.Gauge
+	digests             *obs.Counter
+	digestSeconds       *obs.Histogram
+	digestUploads       *obs.Counter
+	digestUploadSeconds *obs.Histogram
+	verifies            *obs.Counter
+	verifyIssues        *obs.Counter
+	verifyChain         *obs.Histogram
+	verifyRowVersions   *obs.Histogram
+	verifyIndexes       *obs.Histogram
+	verifyViews         *obs.Histogram
+	verifyTotal         *obs.Histogram
+}
+
+func bindLedgerMetrics(reg *obs.Registry) ledgerMetrics {
+	phase := func(p string) *obs.Histogram {
+		return reg.Histogram(obs.VerifyPhaseSeconds, nil, obs.L("phase", p))
+	}
+	return ledgerMetrics{
+		blocksClosed:        reg.Counter(obs.BlocksClosedTotal),
+		blockCloseSeconds:   reg.Histogram(obs.BlockCloseSeconds, nil),
+		queueLength:         reg.Gauge(obs.LedgerQueueLength),
+		digests:             reg.Counter(obs.DigestTotal),
+		digestSeconds:       reg.Histogram(obs.DigestGenerateSeconds, nil),
+		digestUploads:       reg.Counter(obs.DigestUploadTotal),
+		digestUploadSeconds: reg.Histogram(obs.DigestUploadSeconds, nil),
+		verifies:            reg.Counter(obs.VerifyTotal),
+		verifyIssues:        reg.Counter(obs.VerifyIssuesTotal),
+		verifyChain:         phase("chain"),
+		verifyRowVersions:   phase("row_versions"),
+		verifyIndexes:       phase("indexes"),
+		verifyViews:         phase("views"),
+		verifyTotal:         phase("total"),
+	}
 }
 
 // ledgerHook receives engine callbacks. It exists separately from LedgerDB
@@ -157,6 +206,9 @@ func Open(opts Options) (*LedgerDB, error) {
 	if opts.Name == "" {
 		opts.Name = filepath.Base(opts.Dir)
 	}
+	if opts.Obs == nil {
+		opts.Obs = obs.NewRegistry()
+	}
 	h := &ledgerHook{}
 	edb, err := engine.Open(engine.Options{
 		Dir:         opts.Dir,
@@ -164,6 +216,7 @@ func Open(opts Options) (*LedgerDB, error) {
 		GroupCommit: opts.GroupCommit,
 		LockTimeout: opts.LockTimeout,
 		Hook:        h,
+		Obs:         opts.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -175,6 +228,8 @@ func Open(opts Options) (*LedgerDB, error) {
 		closedThrough: -1,
 		tables:        make(map[uint32]*LedgerTable),
 		doneCh:        make(chan struct{}),
+		obs:           opts.Obs,
+		m:             bindLedgerMetrics(opts.Obs),
 	}
 	h.l = l
 	if err := l.loadIncarnation(); err != nil {
@@ -240,11 +295,20 @@ type CommitStats struct {
 	Fsyncs int64
 }
 
-// CommitStats returns commit-path durability counters since open.
+// CommitStats returns commit-path durability counters since open. It is
+// a shim over the registry's sqlledger_wal_* counters.
 func (l *LedgerDB) CommitStats() CommitStats {
 	gs := l.edb.GroupCommitStats()
 	return CommitStats{Commits: gs.Commits, Groups: gs.Groups, Fsyncs: l.edb.FsyncCount()}
 }
+
+// Obs returns the database's metrics registry.
+func (l *LedgerDB) Obs() *obs.Registry { return l.obs }
+
+// Snapshot returns a point-in-time copy of every metric the database has
+// recorded: WAL appends and fsyncs, group-commit batching, the four
+// commit stages, lock waits, block closing, digests and verification.
+func (l *LedgerDB) Snapshot() obs.Snapshot { return l.obs.Snapshot() }
 
 const incarnationFile = "createtime"
 
@@ -452,7 +516,9 @@ func (l *LedgerDB) assignBlock(txID uint64, commitTS int64, user string, roots [
 		TxID: txID, BlockID: block, Ordinal: ord, CommitTS: commitTS, User: user,
 		Roots: append([]wal.TableRoot(nil), roots...),
 	})
+	qlen := len(l.queue)
 	l.lmu.Unlock()
+	l.m.queueLength.Set(float64(qlen))
 	return block, ord
 }
 
@@ -465,6 +531,7 @@ func (l *LedgerDB) drainQueueLocked() {
 	q := l.queue
 	l.queue = nil
 	l.lmu.Unlock()
+	l.m.queueLength.Set(0)
 	for _, e := range q {
 		if _, err := l.edb.DirectInsert(l.sysTx, entryToRow(e)); err != nil {
 			// The only possible failure is a duplicate from a re-drain,
@@ -507,38 +574,56 @@ func (l *LedgerDB) closeBlocksThrough(target int64) error {
 	l.closeMu.Lock()
 	defer l.closeMu.Unlock()
 	for b := l.closedThrough + 1; b <= target; b++ {
-		entries := l.entriesOfBlock(uint64(b))
-		if len(entries) == 0 {
-			return fmt.Errorf("core: block %d has no transactions to close", b)
-		}
-		var tree merkle.Streaming
-		for i, e := range entries {
-			if e.Ordinal != uint32(i) {
-				return fmt.Errorf("core: block %d has a gap at ordinal %d", b, i)
-			}
-			tree.Append(entryHash(e))
-		}
-		root := tree.Root()
-		row := sqltypes.Row{
-			sqltypes.NewBigInt(b),
-			sqltypes.NewBinary(append([]byte(nil), l.prevHash[:]...)),
-			sqltypes.NewBinary(append([]byte(nil), root[:]...)),
-			sqltypes.NewBigInt(int64(len(entries))),
-			sqltypes.NewDateTime(time.Now()),
-		}
-		// Persisting the closed block is a regular, WAL-logged table
-		// update, so its durability is guaranteed by the engine.
-		tx := l.edb.Begin("system")
-		if _, err := tx.Insert(l.sysBlocks, row); err != nil {
-			tx.Rollback()
+		if err := l.closeOneBlock(b); err != nil {
 			return err
 		}
-		if _, err := l.edb.Commit(tx); err != nil {
-			return err
-		}
-		l.prevHash = blockHashOfRow(row)
-		l.closedThrough = b
 	}
+	return nil
+}
+
+// closeOneBlock closes block b. Caller holds closeMu and guarantees
+// every previous block is closed.
+func (l *LedgerDB) closeOneBlock(b int64) (err error) {
+	start := time.Now()
+	sp := l.obs.Tracer().Start("close_block", obs.L("block", strconv.FormatInt(b, 10)))
+	defer func() {
+		sp.Finish(err)
+		if err == nil {
+			l.m.blockCloseSeconds.ObserveSince(start)
+			l.m.blocksClosed.Inc()
+		}
+	}()
+	entries := l.entriesOfBlock(uint64(b))
+	if len(entries) == 0 {
+		return fmt.Errorf("core: block %d has no transactions to close", b)
+	}
+	var tree merkle.Streaming
+	for i, e := range entries {
+		if e.Ordinal != uint32(i) {
+			return fmt.Errorf("core: block %d has a gap at ordinal %d", b, i)
+		}
+		tree.Append(entryHash(e))
+	}
+	root := tree.Root()
+	row := sqltypes.Row{
+		sqltypes.NewBigInt(b),
+		sqltypes.NewBinary(append([]byte(nil), l.prevHash[:]...)),
+		sqltypes.NewBinary(append([]byte(nil), root[:]...)),
+		sqltypes.NewBigInt(int64(len(entries))),
+		sqltypes.NewDateTime(time.Now()),
+	}
+	// Persisting the closed block is a regular, WAL-logged table
+	// update, so its durability is guaranteed by the engine.
+	tx := l.edb.Begin("system")
+	if _, err := tx.Insert(l.sysBlocks, row); err != nil {
+		tx.Rollback()
+		return err
+	}
+	if _, err := l.edb.Commit(tx); err != nil {
+		return err
+	}
+	l.prevHash = blockHashOfRow(row)
+	l.closedThrough = b
 	return nil
 }
 

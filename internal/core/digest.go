@@ -61,7 +61,16 @@ func ParseDigest(b []byte) (Digest, error) {
 // delayed until the covered data has been replicated; if the secondary
 // stays behind for longer than MaxReplicaDelay, ErrReplicationBehind is
 // returned, mirroring §3.6.
-func (l *LedgerDB) GenerateDigest() (Digest, error) {
+func (l *LedgerDB) GenerateDigest() (d Digest, err error) {
+	start := time.Now()
+	sp := l.obs.Tracer().Start("generate_digest")
+	defer func() {
+		sp.Finish(err)
+		if err == nil {
+			l.m.digestSeconds.ObserveSince(start)
+			l.m.digests.Inc()
+		}
+	}()
 	l.lmu.Lock()
 	if l.curOrdinal > 0 {
 		// Force-close the partially filled block so the digest covers

@@ -23,10 +23,16 @@ func digestBlobName(dbName string, incarnation int64, blockID uint64) string {
 // the latest block's digest was already uploaded (no new transactions),
 // it returns the existing digest without writing.
 func (l *LedgerDB) UploadDigest(store blobstore.Store) (Digest, error) {
+	store = blobstore.Instrument(store, l.obs)
+	start := time.Now()
 	d, err := l.GenerateDigest()
 	if err != nil {
 		return Digest{}, err
 	}
+	defer func() {
+		l.m.digestUploadSeconds.ObserveSince(start)
+		l.m.digestUploads.Inc()
+	}()
 	name := digestBlobName(d.DatabaseName, d.Incarnation, d.BlockID)
 	if err := store.Put(name, d.JSON()); err != nil {
 		if b, gerr := store.Get(name); gerr == nil {
@@ -47,6 +53,7 @@ func (l *LedgerDB) UploadDigest(store blobstore.Store) (Digest, error) {
 // across all incarnations, sorted by (incarnation, block id). This is the
 // input set for verification after restores (§3.6).
 func (l *LedgerDB) StoredDigests(store blobstore.Store) ([]Digest, error) {
+	store = blobstore.Instrument(store, l.obs)
 	names, err := store.List(l.opts.Name + "/")
 	if err != nil {
 		return nil, err

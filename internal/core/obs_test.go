@@ -1,0 +1,143 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sqlledger/internal/blobstore"
+	"sqlledger/internal/engine"
+	"sqlledger/internal/obs"
+)
+
+// End-to-end check of the observability layer: drive commits, a digest
+// upload and a verification through a ledger database, then assert that
+// the headline series are populated both in the snapshot API and in the
+// Prometheus text rendering.
+func TestObservabilityEndToEnd(t *testing.T) {
+	l := openTestLedger(t, 2) // tiny blocks so block closes happen
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+
+	const commits = 6
+	for i := 0; i < commits; i++ {
+		tx := l.Begin("alice")
+		if err := tx.Insert(lt, account(string(rune('a'+i)), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	store := blobstore.NewMemory()
+	if _, err := l.UploadDigest(store); err != nil {
+		t.Fatal(err)
+	}
+	digests, err := l.StoredDigests(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyOK(t, l, digests)
+
+	snap := l.Snapshot()
+
+	// The shims must agree with the registry they now read from.
+	stats := l.CommitStats()
+	if got := snap.CounterValue(obs.EngineCommitTotal); got != stats.Commits {
+		t.Fatalf("commit counter = %d, CommitStats.Commits = %d", got, stats.Commits)
+	}
+	if got := snap.CounterValue(obs.WALFsyncTotal); got != stats.Fsyncs {
+		t.Fatalf("fsync counter = %d, CommitStats.Fsyncs = %d", got, stats.Fsyncs)
+	}
+	if stats.Commits < commits {
+		t.Fatalf("CommitStats.Commits = %d, want >= %d", stats.Commits, commits)
+	}
+
+	if n := snap.CounterValue(obs.BlocksClosedTotal); n == 0 {
+		t.Fatal("no blocks closed despite block size 2")
+	}
+	if n := snap.CounterValue(obs.DigestTotal); n == 0 {
+		t.Fatal("digest counter not incremented")
+	}
+	if n := snap.CounterValue(obs.DigestUploadTotal); n != 1 {
+		t.Fatalf("digest uploads = %d, want 1", n)
+	}
+	if n := snap.CounterValue(obs.VerifyTotal); n != 1 {
+		t.Fatalf("verifications = %d, want 1", n)
+	}
+	if n := snap.CounterValue(obs.VerifyIssuesTotal); n != 0 {
+		t.Fatalf("verify issues = %d, want 0", n)
+	}
+	if n := snap.CounterValue(obs.BlobstoreOpsTotal); n == 0 {
+		t.Fatal("blobstore ops not counted")
+	}
+	// Commit stages and verify phases must have one histogram series per
+	// label value, all populated.
+	for _, stage := range []string{"sequence", "publish", "apply"} {
+		h, ok := snap.Histogram(obs.CommitStageSeconds, obs.L("stage", stage))
+		if !ok || h.Count == 0 {
+			t.Fatalf("commit stage %q not observed (ok=%v)", stage, ok)
+		}
+	}
+	for _, phase := range []string{"chain", "row_versions", "indexes", "views", "total"} {
+		h, ok := snap.Histogram(obs.VerifyPhaseSeconds, obs.L("phase", phase))
+		if !ok || h.Count == 0 {
+			t.Fatalf("verify phase %q not observed (ok=%v)", phase, ok)
+		}
+	}
+
+	// The Prometheus rendering must expose the acceptance-criteria series.
+	var sb strings.Builder
+	if err := l.Obs().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		obs.WALFsyncTotal,
+		obs.CommitStageSeconds,
+		obs.VerifyPhaseSeconds,
+		`stage="sequence"`,
+		`phase="total"`,
+		"# TYPE " + obs.WALFsyncTotal + " counter",
+		"# TYPE " + obs.CommitStageSeconds + " histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics text missing %q", want)
+		}
+	}
+
+	// Spans from block closes, digest generation and verification must be
+	// in the ring.
+	recent := l.Obs().Tracer().Recent(0)
+	seen := map[string]bool{}
+	for _, sp := range recent {
+		seen[sp.Name] = true
+	}
+	for _, want := range []string{"close_block", "generate_digest", "verify"} {
+		if !seen[want] {
+			t.Fatalf("span %q not recorded (got %v)", want, seen)
+		}
+	}
+}
+
+// A disabled registry must stay empty while the database works normally.
+func TestObservabilityDisabled(t *testing.T) {
+	l, err := Open(Options{
+		Dir: t.TempDir(), Name: "test", BlockSize: 4, Obs: obs.Disabled(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	tx := l.Begin("alice")
+	if err := tx.Insert(lt, account("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	snap := l.Snapshot()
+	if n := snap.CounterValue(obs.EngineCommitTotal); n != 0 {
+		t.Fatalf("disabled registry recorded %d commits", n)
+	}
+	// The shims read the (disabled, hence empty) registry.
+	if stats := l.CommitStats(); stats.Commits != 0 {
+		t.Fatalf("disabled CommitStats.Commits = %d, want 0", stats.Commits)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"sqlledger/internal/engine"
 	"sqlledger/internal/merkle"
+	"sqlledger/internal/obs"
 	"sqlledger/internal/serial"
 	"sqlledger/internal/sqltypes"
 	"sqlledger/internal/wal"
@@ -165,6 +166,18 @@ func (l *LedgerDB) Verify(digests []Digest, opts VerifyOptions) (*Report, error)
 	}
 	start := time.Now()
 	rep := &Report{}
+	sp := l.obs.Tracer().Start("verify",
+		obs.L("parallelism", fmt.Sprintf("%d", opts.Parallelism)))
+	defer func() {
+		sp.Finish(nil)
+		l.m.verifies.Inc()
+		l.m.verifyIssues.Add(int64(len(rep.Issues)))
+		l.m.verifyChain.Observe(rep.Timing.Chain.Seconds())
+		l.m.verifyRowVersions.Observe(rep.Timing.RowVersions.Seconds())
+		l.m.verifyIndexes.Observe(rep.Timing.Indexes.Seconds())
+		l.m.verifyViews.Observe(rep.Timing.Views.Seconds())
+		l.m.verifyTotal.Observe(rep.Timing.Total.Seconds())
+	}()
 
 	// Collect all transaction entries: persisted plus still queued.
 	entries := make(map[uint64]*wal.LedgerEntry)

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sqlledger/internal/obs"
 	"sqlledger/internal/sqltypes"
 	"sqlledger/internal/wal"
 )
@@ -51,6 +52,10 @@ type Options struct {
 	// GroupCommit tunes WAL group commit (the zero value enables it with
 	// defaults; set Disabled for the serialized ablation path).
 	GroupCommit wal.GroupConfig
+	// Obs receives metrics and spans from every layer of this database
+	// (WAL, commit pipeline, locks). nil creates a private enabled
+	// registry; pass obs.Disabled() to turn recording off.
+	Obs *obs.Registry
 }
 
 // DB is an embedded relational database.
@@ -79,6 +84,30 @@ type DB struct {
 
 	checkpointLSN int64
 	closed        bool
+
+	obs *obs.Registry
+	m   dbMetrics
+}
+
+// dbMetrics holds the engine's metric handles, resolved once at Open.
+type dbMetrics struct {
+	commits       *obs.Counter
+	rollbacks     *obs.Counter
+	stageSequence *obs.Histogram
+	stagePublish  *obs.Histogram
+	stageWait     *obs.Histogram
+	stageApply    *obs.Histogram
+}
+
+func bindDBMetrics(reg *obs.Registry) dbMetrics {
+	return dbMetrics{
+		commits:       reg.Counter(obs.EngineCommitTotal),
+		rollbacks:     reg.Counter(obs.EngineRollbackTotal),
+		stageSequence: reg.Histogram(obs.CommitStageSeconds, nil, obs.L("stage", "sequence")),
+		stagePublish:  reg.Histogram(obs.CommitStageSeconds, nil, obs.L("stage", "publish")),
+		stageWait:     reg.Histogram(obs.CommitStageSeconds, nil, obs.L("stage", "wait")),
+		stageApply:    reg.Histogram(obs.CommitStageSeconds, nil, obs.L("stage", "apply")),
+	}
 }
 
 const walFileName = "wal.log"
@@ -97,16 +126,24 @@ func Open(opts Options) (*DB, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: mkdir: %w", err)
 	}
+	if opts.Obs == nil {
+		opts.Obs = obs.NewRegistry()
+	}
 	log, err := wal.Open(filepath.Join(opts.Dir, walFileName), opts.Sync)
 	if err != nil {
 		return nil, err
 	}
+	// Rebind before recovery so everything the database ever fsyncs is
+	// counted on the shared registry.
+	log.Instrument(opts.Obs)
 	db := &DB{
 		opts:   opts,
 		cat:    newCatalog(),
 		tables: make(map[uint32]*Table),
 		log:    log,
-		locks:  newLockTable(),
+		locks:  newLockTable(opts.Obs),
+		obs:    opts.Obs,
+		m:      bindDBMetrics(opts.Obs),
 	}
 	if err := db.recover(); err != nil {
 		log.Close()
@@ -148,8 +185,12 @@ func (db *DB) LastCommitTS() int64 {
 	return db.lastCommitTS.Load()
 }
 
+// Obs returns the database's metrics registry.
+func (db *DB) Obs() *obs.Registry { return db.obs }
+
 // FsyncCount returns how many WAL fsyncs have been performed since open
-// (nonzero only under wal.SyncFull).
+// (nonzero only under wal.SyncFull). Shim over the registry's
+// sqlledger_wal_fsync_total counter.
 func (db *DB) FsyncCount() int64 { return db.log.SyncCount() }
 
 // GroupCommitStats returns the WAL group committer's counters (all zero
@@ -244,6 +285,10 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 		})
 	}
 
+	// The lap timer reads the clock only when the registry is enabled, so
+	// the metrics-off ablation skips all four stage observations.
+	lap := db.obs.Timer()
+
 	// Stage 1 — sequence.
 	db.commitMu.Lock()
 	now := time.Now().UnixNano()
@@ -273,14 +318,19 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 	// Stages 2 and 3 — publish, then wait for durability off the
 	// critical section. The serialized path (GroupCommit.Disabled) keeps
 	// the append inside commitMu like the pre-pipeline engine did.
+	lap.Lap(db.m.stageSequence)
 	var err error
 	if db.committer != nil {
 		ticket := db.committer.Enqueue(recs)
 		db.commitMu.Unlock()
+		lap.Lap(db.m.stagePublish)
 		_, err = ticket.Wait()
+		lap.Lap(db.m.stageWait)
 	} else {
+		// Serialized path: the append is both publish and wait.
 		_, err = db.log.AppendBatch(recs)
 		db.commitMu.Unlock()
+		lap.Lap(db.m.stagePublish)
 	}
 	if err != nil {
 		// Known limitation: if the log write fails (disk full, I/O error)
@@ -297,6 +347,8 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 	db.applyWrites(tx.writes)
 	tx.done = true
 	tx.releaseLocks()
+	lap.Lap(db.m.stageApply)
+	db.m.commits.Inc()
 	return now, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"sqlledger/internal/obs"
 )
 
 // ErrLockTimeout is returned when a row lock cannot be acquired within the
@@ -18,6 +20,11 @@ const lockShards = 128
 // (strict two-phase locking on writes).
 type lockTable struct {
 	shards [lockShards]lockShard
+
+	// waitSeconds observes only contended acquisitions; the uncontended
+	// fast path never reads the clock.
+	waitSeconds *obs.Histogram
+	timeouts    *obs.Counter
 }
 
 type lockShard struct {
@@ -36,8 +43,11 @@ type rowLock struct {
 	released chan struct{}
 }
 
-func newLockTable() *lockTable {
-	lt := &lockTable{}
+func newLockTable(reg *obs.Registry) *lockTable {
+	lt := &lockTable{
+		waitSeconds: reg.Histogram(obs.LockWaitSeconds, nil),
+		timeouts:    reg.Counter(obs.LockTimeoutTotal),
+	}
 	for i := range lt.shards {
 		lt.shards[i].m = make(map[lockKey]*rowLock)
 	}
@@ -59,12 +69,16 @@ func (lt *lockTable) acquire(owner uint64, table uint32, key []byte, timeout tim
 	k := lockKey{table: table, key: string(key)}
 	s := lt.shard(k)
 	deadline := time.Now().Add(timeout)
+	var waitStart time.Time
 	for {
 		s.mu.Lock()
 		l, ok := s.m[k]
 		if !ok {
 			s.m[k] = &rowLock{owner: owner, released: make(chan struct{})}
 			s.mu.Unlock()
+			if !waitStart.IsZero() {
+				lt.waitSeconds.ObserveSince(waitStart)
+			}
 			return nil
 		}
 		if l.owner == owner {
@@ -73,8 +87,12 @@ func (lt *lockTable) acquire(owner uint64, table uint32, key []byte, timeout tim
 		}
 		ch := l.released
 		s.mu.Unlock()
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+		}
 		wait := time.Until(deadline)
 		if wait <= 0 {
+			lt.timeouts.Inc()
 			return ErrLockTimeout
 		}
 		t := time.NewTimer(wait)
@@ -82,6 +100,7 @@ func (lt *lockTable) acquire(owner uint64, table uint32, key []byte, timeout tim
 		case <-ch:
 			t.Stop()
 		case <-t.C:
+			lt.timeouts.Inc()
 			return ErrLockTimeout
 		}
 	}

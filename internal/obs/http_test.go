@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerMetricsAndSpans(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sqlledger_http_test_total").Add(3)
+	sp := r.Tracer().Start("close_block", L("block", "1"))
+	sp.Finish(nil)
+
+	srv, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(string(body), "sqlledger_http_test_total 3") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/debug/spans?n=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var spans []SpanRecord
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "close_block" {
+		t.Fatalf("unexpected spans: %+v", spans)
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+// Canonical metric names. Instrumented packages and tests share these
+// constants so the exposition surface is greppable in one place.
+const (
+	// WAL (internal/wal)
+	WALFsyncTotal        = "sqlledger_wal_fsync_total"
+	WALFsyncSeconds      = "sqlledger_wal_fsync_seconds"
+	WALFlushTotal        = "sqlledger_wal_flush_total"
+	WALAppendRecords     = "sqlledger_wal_append_records_total"
+	WALAppendBytes       = "sqlledger_wal_append_bytes_total"
+	WALGroupCommits      = "sqlledger_wal_group_commits_total"
+	WALGroups            = "sqlledger_wal_groups_total"
+	WALGroupRecords      = "sqlledger_wal_group_records_total"
+	WALGroupSize         = "sqlledger_wal_group_size"
+	WALGroupFlushSeconds = "sqlledger_wal_group_flush_seconds"
+
+	// Engine commit pipeline (internal/engine)
+	EngineCommitTotal   = "sqlledger_engine_commit_total"
+	EngineRollbackTotal = "sqlledger_engine_rollback_total"
+	CommitStageSeconds  = "sqlledger_commit_stage_seconds" // label: stage
+	LockWaitSeconds     = "sqlledger_lock_wait_seconds"
+	LockTimeoutTotal    = "sqlledger_lock_timeout_total"
+
+	// Ledger core (internal/core)
+	BlocksClosedTotal     = "sqlledger_blocks_closed_total"
+	BlockCloseSeconds     = "sqlledger_block_close_seconds"
+	LedgerQueueLength     = "sqlledger_ledger_queue_length"
+	DigestTotal           = "sqlledger_digest_total"
+	DigestGenerateSeconds = "sqlledger_digest_generate_seconds"
+	DigestUploadTotal     = "sqlledger_digest_upload_total"
+	DigestUploadSeconds   = "sqlledger_digest_upload_seconds"
+	VerifyTotal           = "sqlledger_verify_total"
+	VerifyIssuesTotal     = "sqlledger_verify_issues_total"
+	VerifyPhaseSeconds    = "sqlledger_verify_phase_seconds" // label: phase
+
+	// Blobstore I/O (internal/blobstore), labelled op=put|get|list
+	BlobstoreOpsTotal    = "sqlledger_blobstore_ops_total"
+	BlobstoreOpSeconds   = "sqlledger_blobstore_op_seconds"
+	BlobstoreErrorsTotal = "sqlledger_blobstore_errors_total"
+	BlobstoreBytesTotal  = "sqlledger_blobstore_bytes_total"
+
+	// Workload driver (internal/workload)
+	WorkloadCommitsTotal = "sqlledger_workload_commits_total"
+	WorkloadErrorsTotal  = "sqlledger_workload_errors_total"
+)

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Golden test for the Prometheus text exposition format. All observed
+// values are integral so float formatting is exact and deterministic.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sqlledger_test_commits_total").Add(42)
+	r.Counter("sqlledger_test_ops_total", L("op", "put")).Add(7)
+	r.Counter("sqlledger_test_ops_total", L("op", "get")).Add(3)
+	r.Gauge("sqlledger_test_queue_length").Set(5)
+	h := r.Histogram("sqlledger_test_stage_seconds", []float64{1, 2, 4}, L("stage", "apply"))
+	for _, v := range []float64{1, 1, 2, 3, 8} {
+		h.Observe(v)
+	}
+	r.Histogram("sqlledger_test_empty_seconds", []float64{1})
+	r.Gauge("sqlledger_test_escaped", L("path", `C:\data "hot"`)).Set(1)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus output mismatch\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultSpanRing is how many finished spans the tracer retains.
+const defaultSpanRing = 512
+
+// Span is an in-flight traced operation. Finish it exactly once.
+// A nil Span (from a disabled tracer) is safe to finish.
+type Span struct {
+	tracer *Tracer
+	name   string
+	labels []Label
+	start  time.Time
+}
+
+// SpanRecord is one finished span in the tracer's ring buffer.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Labels   []Label       `json:"labels,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// Tracer records finished spans into a fixed-size ring buffer so the
+// most recent operations (block closes, digests, verification phases)
+// can be inspected via /debug/spans without unbounded memory growth.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	full bool
+	seq  atomic.Int64
+	on   bool
+}
+
+func newTracer(size int, on bool) *Tracer {
+	return &Tracer{ring: make([]SpanRecord, size), on: on && size > 0}
+}
+
+// Start begins a span. Returns nil when tracing is disabled; all Span
+// methods tolerate a nil receiver.
+func (t *Tracer) Start(name string, labels ...Label) *Span {
+	if t == nil || !t.on {
+		return nil
+	}
+	return &Span{tracer: t, name: name, labels: labels, start: time.Now()}
+}
+
+// Finish records the span. err may be nil.
+func (s *Span) Finish(err error) {
+	if s == nil {
+		return
+	}
+	rec := SpanRecord{
+		Name:     s.name,
+		Labels:   s.labels,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	t := s.tracer
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+	t.seq.Add(1)
+}
+
+// Recorded returns the total number of spans finished since creation.
+func (t *Tracer) Recorded() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Load()
+}
+
+// Recent returns up to the last n finished spans, newest first.
+// n <= 0 means the whole ring.
+func (t *Tracer) Recent(n int) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.next
+	if t.full {
+		size = len(t.ring)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]SpanRecord, 0, n)
+	// Walk backwards from the most recently written slot.
+	for i := 1; i <= n; i++ {
+		idx := t.next - i
+		if idx < 0 {
+			idx += len(t.ring)
+		}
+		out = append(out, t.ring[idx])
+	}
+	return out
+}

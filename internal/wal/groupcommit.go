@@ -3,7 +3,6 @@ package wal
 import (
 	"errors"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -73,9 +72,9 @@ type GroupCommitter struct {
 	stop chan struct{}
 	done chan struct{}
 
-	commits atomic.Int64
-	groups  atomic.Int64
-	records atomic.Int64
+	// Metric handles inherited from the log's registry at construction;
+	// GroupStats is a shim reading them back.
+	m logMetrics
 }
 
 // NewGroupCommitter starts a group committer (and its flusher goroutine)
@@ -84,12 +83,16 @@ func NewGroupCommitter(l *Log, cfg GroupConfig) *GroupCommitter {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = defaultMaxBatch
 	}
+	l.mu.Lock()
+	m := l.m
+	l.mu.Unlock()
 	g := &GroupCommitter{
 		log:  l,
 		cfg:  cfg,
 		wake: make(chan struct{}, 1),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
+		m:    m,
 	}
 	go g.run()
 	return g
@@ -109,7 +112,7 @@ func (g *GroupCommitter) Enqueue(recs []Record) *Ticket {
 	}
 	g.pending = append(g.pending, req)
 	g.mu.Unlock()
-	g.commits.Add(1)
+	g.m.groupCommits.Inc()
 	select {
 	case g.wake <- struct{}{}:
 	default:
@@ -117,12 +120,13 @@ func (g *GroupCommitter) Enqueue(recs []Record) *Ticket {
 	return &Ticket{req: req}
 }
 
-// Stats returns activity counters.
+// Stats returns activity counters. It is a shim over the registry's
+// sqlledger_wal_group_* counters.
 func (g *GroupCommitter) Stats() GroupStats {
 	return GroupStats{
-		Commits: g.commits.Load(),
-		Groups:  g.groups.Load(),
-		Records: g.records.Load(),
+		Commits: g.m.groupCommits.Value(),
+		Groups:  g.m.groups.Value(),
+		Records: g.m.groupRecords.Value(),
 	}
 }
 
@@ -202,7 +206,9 @@ func (g *GroupCommitter) flushGroup() bool {
 		batches[i] = req.recs
 		nrec += len(req.recs)
 	}
+	flushStart := time.Now()
 	lsns, err := g.log.AppendGroup(batches)
+	g.m.groupFlushSeconds.ObserveSince(flushStart)
 	for i, req := range group {
 		if err == nil {
 			req.lsn = lsns[i]
@@ -210,7 +216,8 @@ func (g *GroupCommitter) flushGroup() bool {
 		req.err = err
 		close(req.done)
 	}
-	g.groups.Add(1)
-	g.records.Add(int64(nrec))
+	g.m.groups.Inc()
+	g.m.groupRecords.Add(int64(nrec))
+	g.m.groupSize.Observe(float64(len(group)))
 	return true
 }

@@ -19,7 +19,9 @@ import (
 	"io"
 	"os"
 	"sync"
-	"sync/atomic"
+	"time"
+
+	"sqlledger/internal/obs"
 )
 
 // RecordType identifies a log record.
@@ -88,12 +90,42 @@ const (
 // methods are safe for concurrent use; Append serializes internally so
 // LSNs reflect append order.
 type Log struct {
-	mu    sync.Mutex
-	f     *os.File
-	w     *bufio.Writer
-	size  int64
-	mode  SyncMode
-	syncs atomic.Int64
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	size int64
+	mode SyncMode
+	m    logMetrics
+}
+
+// logMetrics holds the log's metric handles, resolved once so the append
+// path never does a registry lookup.
+type logMetrics struct {
+	fsyncTotal        *obs.Counter
+	fsyncSeconds      *obs.Histogram
+	flushTotal        *obs.Counter
+	appendRecords     *obs.Counter
+	appendBytes       *obs.Counter
+	groupCommits      *obs.Counter
+	groups            *obs.Counter
+	groupRecords      *obs.Counter
+	groupSize         *obs.Histogram
+	groupFlushSeconds *obs.Histogram
+}
+
+func bindLogMetrics(reg *obs.Registry) logMetrics {
+	return logMetrics{
+		fsyncTotal:        reg.Counter(obs.WALFsyncTotal),
+		fsyncSeconds:      reg.Histogram(obs.WALFsyncSeconds, nil),
+		flushTotal:        reg.Counter(obs.WALFlushTotal),
+		appendRecords:     reg.Counter(obs.WALAppendRecords),
+		appendBytes:       reg.Counter(obs.WALAppendBytes),
+		groupCommits:      reg.Counter(obs.WALGroupCommits),
+		groups:            reg.Counter(obs.WALGroups),
+		groupRecords:      reg.Counter(obs.WALGroupRecords),
+		groupSize:         reg.Histogram(obs.WALGroupSize, obs.SizeBuckets),
+		groupFlushSeconds: reg.Histogram(obs.WALGroupFlushSeconds, nil),
+	}
 }
 
 const headerLen = 4 + 4 + 1 + 8 // len + crc + type + txid
@@ -128,7 +160,24 @@ func Open(path string, mode SyncMode) (*Log, error) {
 		f.Close()
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	return &Log{f: f, w: bufio.NewWriterSize(f, 1<<20), size: valid, mode: mode}, nil
+	return &Log{
+		f:    f,
+		w:    bufio.NewWriterSize(f, 1<<20),
+		size: valid,
+		mode: mode,
+		// A private registry keeps SyncCount and friends working for logs
+		// opened standalone; Instrument rebinds onto a shared one.
+		m: bindLogMetrics(obs.NewRegistry()),
+	}, nil
+}
+
+// Instrument rebinds the log's metrics onto reg. Call it right after
+// Open, before the log sees concurrent traffic; counts recorded before
+// the rebind stay on the previous registry.
+func (l *Log) Instrument(reg *obs.Registry) {
+	l.mu.Lock()
+	l.m = bindLogMetrics(reg)
+	l.mu.Unlock()
 }
 
 // validPrefix returns the length of the longest prefix of the file that
@@ -198,6 +247,8 @@ func (l *Log) writeRecordLocked(t RecordType, txID uint64, payload []byte) (int6
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.size += headerLen + int64(len(payload))
+	l.m.appendRecords.Inc()
+	l.m.appendBytes.Add(headerLen + int64(len(payload)))
 	return lsn, nil
 }
 
@@ -245,15 +296,19 @@ func (l *Log) flushLocked() error {
 		if err := l.w.Flush(); err != nil {
 			return fmt.Errorf("wal: flush: %w", err)
 		}
+		l.m.flushTotal.Inc()
 		return nil
 	case SyncFull:
 		if err := l.w.Flush(); err != nil {
 			return fmt.Errorf("wal: flush: %w", err)
 		}
+		start := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
-		l.syncs.Add(1)
+		l.m.fsyncSeconds.ObserveSince(start)
+		l.m.fsyncTotal.Inc()
+		l.m.flushTotal.Inc()
 		return nil
 	}
 	return fmt.Errorf("wal: unknown sync mode %d", l.mode)
@@ -268,8 +323,13 @@ func (l *Log) Flush() error {
 
 // SyncCount returns how many fsyncs the log has performed since Open
 // (always zero outside SyncFull). The group committer's amortization is
-// measured as SyncCount growth per committed transaction.
-func (l *Log) SyncCount() int64 { return l.syncs.Load() }
+// measured as SyncCount growth per committed transaction. It is a shim
+// over the sqlledger_wal_fsync_total registry counter.
+func (l *Log) SyncCount() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.fsyncTotal.Value()
+}
 
 // Size returns the current end-of-log offset (the LSN the next record
 // will receive).

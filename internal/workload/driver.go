@@ -1,15 +1,37 @@
 package workload
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sqlledger/internal/obs"
 )
+
+// Driver metrics. By default they point at nil handles (no-ops); call
+// Instrument before Drive/DriveN to route commit and error counts into a
+// registry, so a benchmark's /metrics endpoint shows workload progress.
+var (
+	mCommits *obs.Counter
+	mErrors  *obs.Counter
+)
+
+// Instrument binds the driver's counters to reg. Call it before starting
+// a drive; it is not synchronized with a run in flight.
+func Instrument(reg *obs.Registry) {
+	mCommits = reg.Counter(obs.WorkloadCommitsTotal)
+	mErrors = reg.Counter(obs.WorkloadErrorsTotal)
+}
 
 // DriveResult summarizes one concurrent driver run.
 type DriveResult struct {
 	Commits int64
 	Errors  int64
+	// Err aggregates per-client failures (errors.Join of each client's
+	// first error), so callers see WHAT failed, not just how often.
+	Err     error
 	Elapsed time.Duration
 }
 
@@ -45,6 +67,7 @@ func drive(clients int, next func(stop *atomic.Bool) bool, dur time.Duration, ne
 	}
 	var stop atomic.Bool
 	var commits, errs atomic.Int64
+	firstErr := make([]error, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for g := 0; g < clients; g++ {
@@ -55,8 +78,13 @@ func drive(clients int, next func(stop *atomic.Bool) bool, dur time.Duration, ne
 			for next(&stop) {
 				if err := op(); err != nil {
 					errs.Add(1)
+					mErrors.Inc()
+					if firstErr[g] == nil {
+						firstErr[g] = fmt.Errorf("client %d: %w", g, err)
+					}
 				} else {
 					commits.Add(1)
+					mCommits.Inc()
 				}
 			}
 		}(g)
@@ -66,5 +94,8 @@ func drive(clients int, next func(stop *atomic.Bool) bool, dur time.Duration, ne
 		stop.Store(true)
 	}
 	wg.Wait()
-	return DriveResult{Commits: commits.Load(), Errors: errs.Load(), Elapsed: time.Since(start)}
+	return DriveResult{
+		Commits: commits.Load(), Errors: errs.Load(),
+		Err: errors.Join(firstErr...), Elapsed: time.Since(start),
+	}
 }

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -27,6 +28,9 @@ func TestDriveN(t *testing.T) {
 	}
 	if res.Errors != 100 {
 		t.Fatalf("errors = %d, want 100", res.Errors)
+	}
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "boom") {
+		t.Fatalf("aggregated Err = %v, want to contain the client error", res.Err)
 	}
 	if clientsSeen.Load() != 4 {
 		t.Fatalf("newClient called %d times, want 4", clientsSeen.Load())

@@ -41,6 +41,7 @@ import (
 	"sqlledger/internal/blobstore"
 	"sqlledger/internal/core"
 	"sqlledger/internal/engine"
+	"sqlledger/internal/obs"
 	"sqlledger/internal/sql"
 	"sqlledger/internal/sqltypes"
 	"sqlledger/internal/wal"
@@ -90,6 +91,22 @@ type (
 	// committer, and WAL fsyncs.
 	CommitStats = core.CommitStats
 
+	// MetricsRegistry collects every metric and span the database records
+	// (Options.Obs). Share one registry across databases to aggregate, or
+	// pass DisabledMetrics() for the metrics-off ablation path.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of every metric
+	// (DB.Snapshot), with p50/p95/p99 precomputed for histograms.
+	MetricsSnapshot = obs.Snapshot
+	// MetricLabel is one metric dimension, e.g. {stage, apply}.
+	MetricLabel = obs.Label
+	// SpanRecord is one finished trace span (block close, digest,
+	// verification run) from the registry's ring buffer.
+	SpanRecord = obs.SpanRecord
+	// MetricsServer is a live HTTP server exposing /metrics (Prometheus
+	// text) and /debug/spans (JSON).
+	MetricsServer = obs.Server
+
 	// Schema describes a table's columns and primary key.
 	Schema = sqltypes.Schema
 	// Column describes one column.
@@ -137,6 +154,9 @@ const (
 	TypeUniqueID  = sqltypes.TypeUniqueID
 )
 
+// SyncMode selects the WAL durability mode.
+type SyncMode = wal.SyncMode
+
 // WAL durability modes.
 const (
 	// SyncBuffered flushes to the OS on commit (default).
@@ -153,6 +173,20 @@ const DefaultBlockSize = core.DefaultBlockSize
 
 // Open opens (creating if necessary) a ledger database.
 func Open(opts Options) (*DB, error) { return core.Open(opts) }
+
+// NewMetricsRegistry returns an enabled metrics registry to pass as
+// Options.Obs (share one across databases to aggregate their metrics).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DisabledMetrics returns an inert registry: every recording reduces to
+// one branch. It is the metrics-off baseline for overhead measurements.
+func DisabledMetrics() *MetricsRegistry { return obs.Disabled() }
+
+// StartMetricsServer serves reg over HTTP at addr ("127.0.0.1:0" picks a
+// free port): /metrics in Prometheus text format, /debug/spans as JSON.
+func StartMetricsServer(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return obs.StartServer(addr, reg)
+}
 
 // RestoreToTime point-in-time-restores the database in srcDir into dstDir
 // as of targetTS (unix nanoseconds), starting a new incarnation.
