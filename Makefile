@@ -39,6 +39,14 @@ test-race-obs:
 	go test -race ./internal/core/ -run Observability
 	go test -race ./internal/workload/ -run Drive
 
+# Race-enabled health/audit observability tests: the event log ring, the
+# runtime sampler, the health checker's cross-mutex reads and the verify
+# progress sink all run concurrently with commits and verification.
+.PHONY: test-race-health
+test-race-health:
+	go test -race ./internal/obs/ -run 'Event|Runtime|Tracer|Server'
+	go test -race ./internal/core/ -run 'Health|VerifyProgress|AuditEvent|OpsServer'
+
 # Smoke-test the live metrics endpoint: a short ledgerbench commit run
 # serving /metrics on an ephemeral port; the binary self-checks that the
 # endpoint answers with the headline series before exiting.
@@ -60,4 +68,4 @@ bench-commit:
 	go test -run - -bench CommitConcurrent -benchtime 2000x .
 
 .PHONY: check
-check: fmt-check vet test test-race-verify test-race-commit test-race-obs
+check: fmt-check vet test test-race-verify test-race-commit test-race-obs test-race-health

@@ -88,11 +88,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("metrics: http://%s/metrics  spans: http://%s/debug/spans\n", srv.Addr(), srv.Addr())
+		fmt.Printf("metrics: http://%s/metrics  spans: http://%s/debug/spans  events: http://%s/debug/events\n",
+			srv.Addr(), srv.Addr(), srv.Addr())
+		stopSampler := sqlledger.StartRuntimeSampler(reg, time.Second)
+		defer stopSampler()
 	}
+	stopStats := func() {}
 	if *statsEvery > 0 {
-		stop := startStatsPrinter(*statsEvery)
-		defer stop()
+		stopStats = startStatsPrinter(*statsEvery)
 	}
 	switch *expFlag {
 	case "fig7":
@@ -117,6 +120,10 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *expFlag))
 	}
+	// Stop (and final-flush) the stats printer before the self-check so
+	// the last partial interval is printed, not dropped, and no printer
+	// goroutine races the endpoint read.
+	stopStats()
 	if srv != nil {
 		selfCheckMetrics(srv.Addr())
 		srv.Close()
@@ -160,20 +167,18 @@ func startStatsPrinter(every time.Duration) (stop func()) {
 		defer ticker.Stop()
 		var lastCommits, lastFsyncs int64
 		last := time.Now()
-		for {
-			select {
-			case <-stopCh:
-				return
-			case <-ticker.C:
-			}
+		printLine := func(tag string) {
 			snap := reg.Snapshot()
 			now := time.Now()
 			dt := now.Sub(last).Seconds()
+			if dt <= 0 {
+				return
+			}
 			commits := snap.CounterValue(obs.EngineCommitTotal)
 			fsyncs := snap.CounterValue(obs.WALFsyncTotal)
 			queue, _ := snap.GaugeValue(obs.LedgerQueueLength)
-			line := fmt.Sprintf("[stats] commits/s=%.0f fsyncs/s=%.0f queue=%.0f",
-				float64(commits-lastCommits)/dt, float64(fsyncs-lastFsyncs)/dt, queue)
+			line := fmt.Sprintf("[stats%s] commits/s=%.0f fsyncs/s=%.0f queue=%.0f",
+				tag, float64(commits-lastCommits)/dt, float64(fsyncs-lastFsyncs)/dt, queue)
 			if h, ok := snap.Histogram(obs.CommitStageSeconds, sqlledger.MetricLabel{Key: "stage", Value: "wait"}); ok && h.Count > 0 {
 				line += fmt.Sprintf(" wait_p95=%s", time.Duration(h.P95*float64(time.Second)).Round(time.Microsecond))
 			}
@@ -182,6 +187,16 @@ func startStatsPrinter(every time.Duration) (stop func()) {
 			}
 			fmt.Println(line)
 			lastCommits, lastFsyncs, last = commits, fsyncs, now
+		}
+		for {
+			select {
+			case <-stopCh:
+				// Flush the final partial interval instead of dropping it.
+				printLine(" final")
+				return
+			case <-ticker.C:
+				printLine("")
+			}
 		}
 	}()
 	return func() {
@@ -193,6 +208,28 @@ func startStatsPrinter(every time.Duration) (stop func()) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ledgerbench:", err)
 	os.Exit(1)
+}
+
+// progressLine returns a VerifyOptions.Progress callback rendering a
+// live, self-erasing progress line on w. Updates are throttled to
+// whole-percent changes so the callback stays cheap.
+func progressLine(w io.Writer) func(sqlledger.VerifyProgress) {
+	lastPct := -1
+	return func(p sqlledger.VerifyProgress) {
+		pct := int(p.Ratio * 100)
+		if pct == lastPct && p.Ratio < 1 {
+			return
+		}
+		lastPct = pct
+		label := p.Phase
+		if p.Table != "" {
+			label += " " + p.Table
+		}
+		fmt.Fprintf(w, "\r  verify %3d%% %-40s", pct, label)
+		if p.Ratio >= 1 {
+			fmt.Fprintf(w, "\r%*s\r", 56, "")
+		}
+	}
 }
 
 func openDB(base, name string) *sqlledger.DB {
@@ -469,7 +506,9 @@ func fig9(base string) {
 			fatal(err)
 		}
 		start := time.Now()
-		rep, err := db.Verify([]sqlledger.Digest{d}, sqlledger.VerifyOptions{})
+		rep, err := db.Verify([]sqlledger.Digest{d}, sqlledger.VerifyOptions{
+			Progress: progressLine(os.Stderr),
+		})
 		if err != nil {
 			fatal(err)
 		}

@@ -22,9 +22,12 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"sqlledger"
@@ -33,7 +36,7 @@ import (
 
 var dbDir = flag.String("db", "./ledgerdb", "database directory")
 var user = flag.String("user", "cli", "principal recorded for transactions")
-var metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/spans on this address while the command runs (empty: off)")
+var metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/* on this address while the command runs (empty: off)")
 
 func main() {
 	flag.Parse()
@@ -42,19 +45,21 @@ func main() {
 		usage()
 	}
 	reg := sqlledger.NewMetricsRegistry()
-	if *metricsAddr != "" {
-		srv, err := sqlledger.StartMetricsServer(*metricsAddr, reg)
-		if err != nil {
-			fatal(err)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
-	}
 	db, err := sqlledger.Open(sqlledger.Options{Dir: *dbDir, BlockSize: 1000, Obs: reg})
 	if err != nil {
 		fatal(err)
 	}
 	defer db.Close()
+	if *metricsAddr != "" {
+		srv, err := db.StartOpsServer(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		stopSampler := sqlledger.StartRuntimeSampler(reg, time.Second)
+		defer stopSampler()
+		printOpsEndpoints(srv.Addr())
+	}
 
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -93,9 +98,45 @@ func main() {
 		cmdHistory(db, rest)
 	case "sql":
 		cmdSQL(db, rest)
+	case "serve":
+		cmdServe(db, reg, rest)
 	default:
 		usage()
 	}
+}
+
+// cmdServe runs the operational HTTP server (metrics, health, debug
+// endpoints) until a signal arrives — or for a fixed duration when one is
+// given, which keeps CI invocations self-terminating.
+func cmdServe(db *sqlledger.DB, reg *sqlledger.MetricsRegistry, args []string) {
+	if len(args) < 1 || len(args) > 2 {
+		usage()
+	}
+	srv, err := db.StartOpsServer(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	stopSampler := sqlledger.StartRuntimeSampler(reg, time.Second)
+	defer stopSampler()
+	printOpsEndpoints(srv.Addr())
+	if len(args) == 2 {
+		d, err := time.ParseDuration(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		time.Sleep(d)
+		return
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}
+
+func printOpsEndpoints(addr string) {
+	fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+	fmt.Fprintf(os.Stderr, "health:  http://%s/healthz\n", addr)
+	fmt.Fprintf(os.Stderr, "debug:   http://%s/debug/{ledger,events,spans,pprof}\n", addr)
 }
 
 // cmdSQL executes SQL: either the statements given as arguments, or a
@@ -182,7 +223,10 @@ commands:
   receipt TXID KEYFILE                   issue a signed receipt (ed25519 seed file)
   verify-receipt FILE PUBKEYHEX          verify a receipt offline
   truncate BEFORE_BLOCK                  delete ledger history below a block
-  restore DSTDIR UNIXNANO                point-in-time restore`)
+  restore DSTDIR UNIXNANO                point-in-time restore
+  serve ADDR [DURATION]                  run the ops HTTP server (/metrics,
+                                         /healthz, /debug/ledger, /debug/events,
+                                         /debug/spans, /debug/pprof)`)
 	os.Exit(2)
 }
 
@@ -425,13 +469,34 @@ func cmdVerify(db *sqlledger.DB, files []string) {
 		}
 		digests = append(digests, d)
 	}
-	rep, err := db.Verify(digests, sqlledger.VerifyOptions{})
+	rep, err := db.Verify(digests, sqlledger.VerifyOptions{Progress: progressLine(os.Stderr)})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(rep)
 	if !rep.Ok() {
 		os.Exit(1)
+	}
+}
+
+// progressLine returns a VerifyOptions.Progress callback that renders an
+// in-place percentage line on w, cleared once verification completes.
+func progressLine(w io.Writer) func(sqlledger.VerifyProgress) {
+	lastPct := -1
+	return func(p sqlledger.VerifyProgress) {
+		pct := int(p.Ratio * 100)
+		if pct == lastPct && p.Ratio < 1 {
+			return
+		}
+		lastPct = pct
+		label := p.Phase
+		if p.Table != "" {
+			label += " " + p.Table
+		}
+		fmt.Fprintf(w, "\r  verify %3d%% %-40s", pct, label)
+		if p.Ratio >= 1 {
+			fmt.Fprintf(w, "\r%*s\r", 56, "")
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package blobstore
 
 import (
+	"errors"
 	"time"
 
 	"sqlledger/internal/obs"
@@ -9,10 +10,11 @@ import (
 // instrumented wraps a Store and records per-operation counters, latency
 // histograms, byte counts and error counts labelled by op.
 type instrumented struct {
-	inner Store
-	put   opMetrics
-	get   opMetrics
-	list  opMetrics
+	inner  Store
+	events *obs.EventLog
+	put    opMetrics
+	get    opMetrics
+	list   opMetrics
 }
 
 type opMetrics struct {
@@ -37,10 +39,11 @@ func bindOpMetrics(reg *obs.Registry, op string) opMetrics {
 // inert, so callers never branch.
 func Instrument(s Store, reg *obs.Registry) Store {
 	return &instrumented{
-		inner: s,
-		put:   bindOpMetrics(reg, "put"),
-		get:   bindOpMetrics(reg, "get"),
-		list:  bindOpMetrics(reg, "list"),
+		inner:  s,
+		events: reg.Events(),
+		put:    bindOpMetrics(reg, "put"),
+		get:    bindOpMetrics(reg, "get"),
+		list:   bindOpMetrics(reg, "list"),
 	}
 }
 
@@ -51,6 +54,11 @@ func (s *instrumented) Put(name string, data []byte) error {
 	s.put.ops.Inc()
 	if err != nil {
 		s.put.errors.Inc()
+		// ErrImmutable is immutability working as intended (digest
+		// re-uploads probe for it), not an operational failure.
+		if !errors.Is(err, ErrImmutable) {
+			s.events.Warn(obs.EventBlobstoreError, "op", "put", "name", name, "err", err.Error())
+		}
 	} else {
 		s.put.bytes.Add(int64(len(data)))
 	}
@@ -64,6 +72,9 @@ func (s *instrumented) Get(name string) ([]byte, error) {
 	s.get.ops.Inc()
 	if err != nil {
 		s.get.errors.Inc()
+		if !errors.Is(err, ErrNotFound) {
+			s.events.Warn(obs.EventBlobstoreError, "op", "get", "name", name, "err", err.Error())
+		}
 	} else {
 		s.get.bytes.Add(int64(len(b)))
 	}
@@ -77,6 +88,7 @@ func (s *instrumented) List(prefix string) ([]string, error) {
 	s.list.ops.Inc()
 	if err != nil {
 		s.list.errors.Inc()
+		s.events.Warn(obs.EventBlobstoreError, "op", "list", "name", prefix, "err", err.Error())
 	}
 	return names, err
 }

@@ -126,6 +126,11 @@ type LedgerDB struct {
 
 	incarnation int64 // database create time; changes on restore (§3.6)
 
+	// healthMu guards the operability marks read by the HealthChecker.
+	healthMu   sync.Mutex
+	lastUpload uploadMark
+	lastVerify verifyMark
+
 	doneCh   chan struct{}
 	closedDB bool
 
@@ -144,6 +149,7 @@ type ledgerMetrics struct {
 	digestUploadSeconds *obs.Histogram
 	verifies            *obs.Counter
 	verifyIssues        *obs.Counter
+	verifyProgress      *obs.Gauge
 	verifyChain         *obs.Histogram
 	verifyRowVersions   *obs.Histogram
 	verifyIndexes       *obs.Histogram
@@ -165,6 +171,7 @@ func bindLedgerMetrics(reg *obs.Registry) ledgerMetrics {
 		digestUploadSeconds: reg.Histogram(obs.DigestUploadSeconds, nil),
 		verifies:            reg.Counter(obs.VerifyTotal),
 		verifyIssues:        reg.Counter(obs.VerifyIssuesTotal),
+		verifyProgress:      reg.Gauge(obs.VerifyProgressRatio),
 		verifyChain:         phase("chain"),
 		verifyRowVersions:   phase("row_versions"),
 		verifyIndexes:       phase("indexes"),
@@ -230,6 +237,7 @@ func Open(opts Options) (*LedgerDB, error) {
 		doneCh:        make(chan struct{}),
 		obs:           opts.Obs,
 		m:             bindLedgerMetrics(opts.Obs),
+		lastUpload:    uploadMark{block: -1},
 	}
 	h.l = l
 	if err := l.loadIncarnation(); err != nil {
@@ -327,7 +335,11 @@ func (l *LedgerDB) loadIncarnation() error {
 		return err
 	}
 	l.incarnation = time.Now().UnixNano()
-	return os.WriteFile(p, []byte(strconv.FormatInt(l.incarnation, 10)), 0o644)
+	if werr := os.WriteFile(p, []byte(strconv.FormatInt(l.incarnation, 10)), 0o644); werr != nil {
+		return werr
+	}
+	l.obs.Events().Info(obs.EventIncarnation, "incarnation", l.incarnation, "dir", l.opts.Dir)
+	return nil
 }
 
 // --- Bootstrap ---------------------------------------------------------
@@ -624,6 +636,8 @@ func (l *LedgerDB) closeOneBlock(b int64) (err error) {
 	}
 	l.prevHash = blockHashOfRow(row)
 	l.closedThrough = b
+	l.obs.Events().Info(obs.EventBlockClosed,
+		"block", b, "transactions", len(entries), "hash", l.prevHash.String())
 	return nil
 }
 

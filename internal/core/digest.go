@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sqlledger/internal/merkle"
+	"sqlledger/internal/obs"
 	"sqlledger/internal/sqltypes"
 )
 
@@ -100,6 +101,7 @@ func (l *LedgerDB) GenerateDigest() (d Digest, err error) {
 		return Digest{}, fmt.Errorf("core: closed block %d missing from %s", latest, sysBlocksName)
 	}
 	lastTS := l.lastCommitOfBlock(uint64(latest))
+	l.obs.Events().Info(obs.EventDigestGenerated, "block", latest, "hash", hash.String())
 	return Digest{
 		DatabaseName: l.opts.Name,
 		Incarnation:  l.incarnation,

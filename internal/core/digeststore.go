@@ -40,12 +40,14 @@ func (l *LedgerDB) UploadDigest(store blobstore.Store) (Digest, error) {
 			// as the stored digest matches.
 			prev, perr := ParseDigest(b)
 			if perr == nil && prev.Hash == d.Hash {
+				l.noteDigestUploaded(prev, name)
 				return prev, nil
 			}
 			return Digest{}, fmt.Errorf("core: immutable store already holds a DIFFERENT digest for block %d — forked ledger", d.BlockID)
 		}
 		return Digest{}, err
 	}
+	l.noteDigestUploaded(d, name)
 	return d, nil
 }
 

@@ -1,0 +1,341 @@
+// Ledger health and debug introspection. The paper's trust story needs
+// operators to *see* the ledger working — digests leaving the trust
+// boundary on schedule, verification completing against the chain head —
+// so the HealthChecker folds chain height, digest lag, queue depth and
+// the last verification outcome into one typed status served at
+// /healthz, with /debug/ledger exposing the full chain/table snapshot.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sqlledger/internal/obs"
+)
+
+// HealthState is the coarse status served at /healthz.
+type HealthState string
+
+// Health states, from good to bad.
+const (
+	HealthHealthy   HealthState = "healthy"
+	HealthDegraded  HealthState = "degraded"
+	HealthUnhealthy HealthState = "unhealthy"
+)
+
+// healthCode maps a state onto the sqlledger_health_status gauge.
+func healthCode(s HealthState) float64 {
+	switch s {
+	case HealthDegraded:
+		return 1
+	case HealthUnhealthy:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// HealthThresholds tunes when the checker reports degraded/unhealthy.
+// The zero value uses the defaults noted per field.
+type HealthThresholds struct {
+	// DegradedDigestLag is how many closed blocks may lack an uploaded
+	// digest before the status degrades (default 4). Blocks not covered
+	// by a digest in immutable storage are blocks an attacker with
+	// database access could still rewrite silently (§2.2).
+	DegradedDigestLag int64
+	// UnhealthyDigestLag is the digest lag at which the status becomes
+	// unhealthy (default 16).
+	UnhealthyDigestLag int64
+	// MaxQueueDepth is how many ledger entries may sit in the in-memory
+	// queue before the status degrades (default 100000 — one default
+	// block).
+	MaxQueueDepth int
+	// MaxVerifyAge degrades the status when the last verification is
+	// older than this (or has never run). Zero disables the check.
+	MaxVerifyAge time.Duration
+}
+
+func (t HealthThresholds) withDefaults() HealthThresholds {
+	if t.DegradedDigestLag <= 0 {
+		t.DegradedDigestLag = 4
+	}
+	if t.UnhealthyDigestLag <= 0 {
+		t.UnhealthyDigestLag = 16
+	}
+	if t.UnhealthyDigestLag < t.DegradedDigestLag {
+		t.UnhealthyDigestLag = t.DegradedDigestLag
+	}
+	if t.MaxQueueDepth <= 0 {
+		t.MaxQueueDepth = DefaultBlockSize
+	}
+	return t
+}
+
+// uploadMark records the most recent digest upload for health tracking.
+type uploadMark struct {
+	block int64 // highest uploaded block id; -1 = never
+	at    time.Time
+}
+
+// verifyMark records the most recent verification outcome.
+type verifyMark struct {
+	done   bool
+	at     time.Time
+	dur    time.Duration
+	ok     bool
+	issues int
+}
+
+// VerifyHealth summarizes the last verification run for /healthz.
+type VerifyHealth struct {
+	Ok              bool    `json:"ok"`
+	Issues          int     `json:"issues"`
+	AgeSeconds      float64 `json:"age_seconds"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// Health is the typed status served as JSON at /healthz.
+type Health struct {
+	Status  HealthState `json:"status"`
+	Reasons []string    `json:"reasons,omitempty"`
+
+	ChainHeight   int64  `json:"chain_height"` // closed blocks in sys_ledger_blocks
+	ChainHeadHash string `json:"chain_head_hash,omitempty"`
+	Incarnation   int64  `json:"incarnation"`
+	CurrentBlock  uint64 `json:"current_block"` // block now receiving transactions
+	QueueDepth    int    `json:"queue_depth"`
+
+	DigestLagBlocks            int64   `json:"digest_lag_blocks"`
+	LastDigestUploadBlock      int64   `json:"last_digest_upload_block"` // -1 = never
+	LastDigestUploadAgeSeconds float64 `json:"last_digest_upload_age_seconds,omitempty"`
+
+	LastVerify *VerifyHealth `json:"last_verify,omitempty"`
+
+	CheckedAt int64 `json:"checked_at_unix_nano"`
+}
+
+// HealthChecker evaluates a LedgerDB against thresholds. Each Check
+// also updates the sqlledger_health_status gauge and emits a
+// health_changed event on state transitions.
+type HealthChecker struct {
+	l     *LedgerDB
+	thr   HealthThresholds
+	gauge *obs.Gauge
+
+	mu   sync.Mutex
+	prev HealthState
+}
+
+// NewHealthChecker builds a checker for this database.
+func (l *LedgerDB) NewHealthChecker(thr HealthThresholds) *HealthChecker {
+	return &HealthChecker{
+		l:     l,
+		thr:   thr.withDefaults(),
+		gauge: l.obs.Gauge(obs.HealthStatus),
+	}
+}
+
+// Check evaluates the database's health right now.
+func (hc *HealthChecker) Check() Health {
+	l := hc.l
+	now := time.Now()
+
+	l.closeMu.Lock()
+	closed := l.closedThrough
+	head := l.prevHash
+	l.closeMu.Unlock()
+	l.lmu.Lock()
+	queue := len(l.queue)
+	curBlock := l.curBlock
+	l.lmu.Unlock()
+	l.healthMu.Lock()
+	up := l.lastUpload
+	lv := l.lastVerify
+	l.healthMu.Unlock()
+
+	h := Health{
+		Status:                HealthHealthy,
+		ChainHeight:           closed + 1,
+		Incarnation:           l.incarnation,
+		CurrentBlock:          curBlock,
+		QueueDepth:            queue,
+		LastDigestUploadBlock: -1,
+		CheckedAt:             now.UnixNano(),
+	}
+	if closed >= 0 {
+		h.ChainHeadHash = head.String()
+	}
+	if up.block >= 0 {
+		h.DigestLagBlocks = closed - up.block
+		h.LastDigestUploadBlock = up.block
+		h.LastDigestUploadAgeSeconds = now.Sub(up.at).Seconds()
+	} else {
+		// Never uploaded: every closed block is uncovered.
+		h.DigestLagBlocks = closed + 1
+	}
+	if lv.done {
+		h.LastVerify = &VerifyHealth{
+			Ok:              lv.ok,
+			Issues:          lv.issues,
+			AgeSeconds:      now.Sub(lv.at).Seconds(),
+			DurationSeconds: lv.dur.Seconds(),
+		}
+	}
+
+	degrade := func(to HealthState, reason string) {
+		if to == HealthUnhealthy || h.Status == HealthHealthy {
+			h.Status = to
+		}
+		h.Reasons = append(h.Reasons, reason)
+	}
+	switch {
+	case h.DigestLagBlocks >= hc.thr.UnhealthyDigestLag:
+		degrade(HealthUnhealthy, fmt.Sprintf("digest lag %d blocks >= unhealthy threshold %d", h.DigestLagBlocks, hc.thr.UnhealthyDigestLag))
+	case h.DigestLagBlocks >= hc.thr.DegradedDigestLag:
+		degrade(HealthDegraded, fmt.Sprintf("digest lag %d blocks >= degraded threshold %d", h.DigestLagBlocks, hc.thr.DegradedDigestLag))
+	}
+	if queue > hc.thr.MaxQueueDepth {
+		degrade(HealthDegraded, fmt.Sprintf("ledger queue depth %d > %d", queue, hc.thr.MaxQueueDepth))
+	}
+	if lv.done && !lv.ok {
+		degrade(HealthUnhealthy, fmt.Sprintf("last verification found %d issues", lv.issues))
+	}
+	if hc.thr.MaxVerifyAge > 0 {
+		switch {
+		case !lv.done:
+			degrade(HealthDegraded, "no verification has run")
+		case now.Sub(lv.at) > hc.thr.MaxVerifyAge:
+			degrade(HealthDegraded, fmt.Sprintf("last verification is %v old (max %v)", now.Sub(lv.at).Round(time.Second), hc.thr.MaxVerifyAge))
+		}
+	}
+
+	hc.gauge.Set(healthCode(h.Status))
+	hc.mu.Lock()
+	prev := hc.prev
+	hc.prev = h.Status
+	hc.mu.Unlock()
+	if prev != "" && prev != h.Status {
+		l.obs.Events().Warn(obs.EventHealthChanged,
+			"from", string(prev), "to", string(h.Status), "reasons", strings.Join(h.Reasons, "; "))
+	}
+	return h
+}
+
+// noteDigestUploaded records a successful digest upload for health
+// tracking and emits the audit event.
+func (l *LedgerDB) noteDigestUploaded(d Digest, blob string) {
+	l.healthMu.Lock()
+	if int64(d.BlockID) > l.lastUpload.block {
+		l.lastUpload = uploadMark{block: int64(d.BlockID), at: time.Now()}
+	}
+	l.healthMu.Unlock()
+	l.obs.Events().Info(obs.EventDigestUploaded, "block", d.BlockID, "blob", blob, "hash", d.Hash)
+}
+
+// TableDebug is one ledger table in the /debug/ledger snapshot.
+type TableDebug struct {
+	Name        string `json:"name"`
+	ID          uint32 `json:"id"`
+	Kind        string `json:"kind"`
+	Rows        int    `json:"rows"`
+	HistoryRows int    `json:"history_rows"`
+	Indexes     int    `json:"indexes"`
+}
+
+// LedgerDebug is the /debug/ledger snapshot: where the chain stands and
+// how big each ledger table is.
+type LedgerDebug struct {
+	Name           string       `json:"name"`
+	Incarnation    int64        `json:"incarnation"`
+	BlockSize      uint32       `json:"block_size"`
+	ChainHeight    int64        `json:"chain_height"`
+	ChainHeadHash  string       `json:"chain_head_hash,omitempty"`
+	CurrentBlock   uint64       `json:"current_block"`
+	CurrentOrdinal uint32       `json:"current_ordinal"`
+	QueueDepth     int          `json:"queue_depth"`
+	LastCommitTS   int64        `json:"last_commit_ts_unix_nano"`
+	Tables         []TableDebug `json:"tables"`
+}
+
+// DebugInfo captures the ledger's current shape for /debug/ledger.
+func (l *LedgerDB) DebugInfo() LedgerDebug {
+	l.closeMu.Lock()
+	closed := l.closedThrough
+	head := l.prevHash
+	l.closeMu.Unlock()
+	l.lmu.Lock()
+	queue := len(l.queue)
+	curBlock, curOrdinal := l.curBlock, l.curOrdinal
+	l.lmu.Unlock()
+
+	d := LedgerDebug{
+		Name:           l.opts.Name,
+		Incarnation:    l.incarnation,
+		BlockSize:      l.opts.BlockSize,
+		ChainHeight:    closed + 1,
+		CurrentBlock:   curBlock,
+		CurrentOrdinal: curOrdinal,
+		QueueDepth:     queue,
+		LastCommitTS:   l.edb.LastCommitTS(),
+	}
+	if closed >= 0 {
+		d.ChainHeadHash = head.String()
+	}
+	for _, lt := range l.LedgerTables() {
+		td := TableDebug{
+			Name:    lt.Name(),
+			ID:      lt.ID(),
+			Kind:    string(lt.Kind()),
+			Rows:    lt.Table().RowCount(),
+			Indexes: len(lt.Table().Indexes()),
+		}
+		if ht := lt.History(); ht != nil {
+			td.HistoryRows = ht.RowCount()
+		}
+		d.Tables = append(d.Tables, td)
+	}
+	sort.Slice(d.Tables, func(i, j int) bool { return d.Tables[i].Name < d.Tables[j].Name })
+	return d
+}
+
+// OpsHandler returns the database's operational HTTP surface: the
+// registry endpoints (/metrics, /debug/spans, /debug/events,
+// /debug/pprof) plus /healthz and /debug/ledger. hc may be nil for a
+// checker with default thresholds. /healthz answers 200 for healthy and
+// degraded, 503 for unhealthy.
+func (l *LedgerDB) OpsHandler(hc *HealthChecker) http.Handler {
+	if hc == nil {
+		hc = l.NewHealthChecker(HealthThresholds{})
+	}
+	mux := obs.Mux(l.obs)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := hc.Check()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status == HealthUnhealthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeIndentedJSON(w, h)
+	})
+	mux.HandleFunc("/debug/ledger", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeIndentedJSON(w, l.DebugInfo())
+	})
+	return mux
+}
+
+func writeIndentedJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// StartOpsServer serves OpsHandler (with default thresholds) on addr,
+// e.g. "127.0.0.1:0" for an ephemeral port.
+func (l *LedgerDB) StartOpsServer(addr string) (*obs.Server, error) {
+	return obs.StartServerHandler(addr, l.OpsHandler(nil))
+}

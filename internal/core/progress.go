@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sync"
+
+	"sqlledger/internal/obs"
+)
+
+// VerifyProgress is one streaming progress update from a verification
+// run. Ratio is the overall completion estimate in [0, 1]; successive
+// callbacks never see it decrease, and the final callback reports
+// exactly 1.0 with Phase "done".
+type VerifyProgress struct {
+	Phase string  `json:"phase"` // chain, row_versions, indexes, views, done
+	Table string  `json:"table,omitempty"`
+	Ratio float64 `json:"ratio"`
+}
+
+// Progress weights. Invariants 1–3 and the view checks only touch
+// system-table metadata, while invariants 4–5 scan every row version,
+// so the per-table work gets nearly the whole bar. Within one table the
+// row-version pipeline dominates the index accumulators.
+const (
+	progressChainWeight  = 0.05
+	progressTablesWeight = 0.90
+	progressViewsWeight  = 0.05
+	progressRowsShare    = 0.70 // of one table's weight
+	progressIndexShare   = 0.30
+)
+
+// progressSink aggregates weighted completion deltas from concurrent
+// verification workers into one monotone ratio, fanned out to the
+// optional callback and the sqlledger_verify_progress_ratio gauge.
+// Callbacks run under the sink's mutex so observers see non-decreasing
+// ratios even when shards finish concurrently. A nil sink is inert.
+type progressSink struct {
+	mu    sync.Mutex
+	ratio float64
+	cb    func(VerifyProgress)
+	gauge *obs.Gauge
+}
+
+func newProgressSink(cb func(VerifyProgress), gauge *obs.Gauge) *progressSink {
+	gauge.Set(0)
+	return &progressSink{cb: cb, gauge: gauge}
+}
+
+// add advances the ratio by delta and notifies observers.
+func (p *progressSink) add(delta float64, phase, table string) {
+	if p == nil || delta <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.ratio += delta
+	if p.ratio > 1 {
+		p.ratio = 1
+	}
+	p.notify(phase, table)
+	p.mu.Unlock()
+}
+
+// finish pins the ratio to exactly 1.0 (weights are estimates; rounding
+// must not leave the bar at 0.999) and emits the terminal update.
+func (p *progressSink) finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.ratio = 1
+	p.notify("done", "")
+	p.mu.Unlock()
+}
+
+// notify runs under p.mu.
+func (p *progressSink) notify(phase, table string) {
+	p.gauge.Set(p.ratio)
+	if p.cb != nil {
+		p.cb(VerifyProgress{Phase: phase, Table: table, Ratio: p.ratio})
+	}
+}
+
+// wrapProgress spreads delta evenly across tasks, advancing the sink as
+// each finishes. With no tasks the whole delta is credited immediately
+// so empty tables still move the bar.
+func wrapProgress(tasks []func(), prog *progressSink, delta float64, phase, table string) []func() {
+	if prog == nil {
+		return tasks
+	}
+	if len(tasks) == 0 {
+		prog.add(delta, phase, table)
+		return tasks
+	}
+	per := delta / float64(len(tasks))
+	out := make([]func(), len(tasks))
+	for i, task := range tasks {
+		task := task
+		out[i] = func() { task(); prog.add(per, phase, table) }
+	}
+	return out
+}

@@ -116,6 +116,11 @@ type VerifyOptions struct {
 	// worker pool, so a database dominated by one table still scales
 	// with cores.
 	Parallelism int
+	// Progress, if set, receives streaming progress updates as phases
+	// and per-table shards complete. Ratios are monotonically
+	// non-decreasing and end at exactly 1.0; the callback may run from
+	// multiple verification goroutines but calls are serialized.
+	Progress func(VerifyProgress)
 }
 
 // workerPool bounds verification concurrency with a semaphore of n-1
@@ -168,6 +173,12 @@ func (l *LedgerDB) Verify(digests []Digest, opts VerifyOptions) (*Report, error)
 	rep := &Report{}
 	sp := l.obs.Tracer().Start("verify",
 		obs.L("parallelism", fmt.Sprintf("%d", opts.Parallelism)))
+	var prog *progressSink
+	if opts.Progress != nil || l.obs.Enabled() {
+		prog = newProgressSink(opts.Progress, l.m.verifyProgress)
+	}
+	l.obs.Events().Info(obs.EventVerifyStarted,
+		"digests", len(digests), "parallelism", opts.Parallelism)
 	defer func() {
 		sp.Finish(nil)
 		l.m.verifies.Inc()
@@ -177,6 +188,7 @@ func (l *LedgerDB) Verify(digests []Digest, opts VerifyOptions) (*Report, error)
 		l.m.verifyIndexes.Observe(rep.Timing.Indexes.Seconds())
 		l.m.verifyViews.Observe(rep.Timing.Views.Seconds())
 		l.m.verifyTotal.Observe(rep.Timing.Total.Seconds())
+		l.noteVerifyFinished(rep)
 	}()
 
 	// Collect all transaction entries: persisted plus still queued.
@@ -203,6 +215,7 @@ func (l *LedgerDB) Verify(digests []Digest, opts VerifyOptions) (*Report, error)
 	l.verifyChainQuery(truncatedBefore, rep)
 	l.verifyBlockRootsQuery(entries, rep)
 	rep.Timing.Chain = time.Since(phase)
+	prog.add(progressChainWeight, "chain", "")
 
 	// Invariants 4 and 5, per ledger table. One worker pool is shared by
 	// the table-level fan-out and the shard/root fan-out inside each
@@ -222,18 +235,34 @@ func (l *LedgerDB) Verify(digests []Digest, opts VerifyOptions) (*Report, error)
 		}
 		tables = filtered
 	}
+	// Progress weight per table, proportional to its row-version count
+	// so the bar tracks actual scan work rather than table count.
+	tableWeight := make([]float64, len(tables))
+	var totalRows float64
+	for i, lt := range tables {
+		n := float64(lt.table.RowCount() + 1)
+		if lt.history != nil {
+			n += float64(lt.history.RowCount())
+		}
+		tableWeight[i] = n
+		totalRows += n
+	}
+	for i := range tableWeight {
+		tableWeight[i] = progressTablesWeight * tableWeight[i] / totalRows
+	}
+
 	pool := newWorkerPool(opts.Parallelism)
 	var mu sync.Mutex
 	tableTasks := make([]func(), 0, len(tables))
-	for _, lt := range tables {
-		lt := lt
+	for ti, lt := range tables {
+		lt, w := lt, tableWeight[ti]
 		tableTasks = append(tableTasks, func() {
 			sub := &Report{}
 			t0 := time.Now()
-			l.verifyTable(lt, entries, truncatedBefore, truncatedMaxTx, opts.Parallelism, pool, sub)
+			l.verifyTable(lt, entries, truncatedBefore, truncatedMaxTx, opts.Parallelism, pool, sub, prog, w*progressRowsShare)
 			rows := time.Since(t0)
 			t1 := time.Now()
-			l.verifyIndexes(lt, opts.Parallelism, pool, sub)
+			l.verifyIndexes(lt, opts.Parallelism, pool, sub, prog, w*progressIndexShare)
 			idx := time.Since(t1)
 			mu.Lock()
 			rep.Issues = append(rep.Issues, sub.Issues...)
@@ -261,6 +290,8 @@ func (l *LedgerDB) Verify(digests []Digest, opts VerifyOptions) (*Report, error)
 		}
 	}
 	rep.Timing.Views = time.Since(phase)
+	prog.add(progressViewsWeight, "views", "")
+	prog.finish()
 
 	// Total order (invariant, table, detail): parallel runs at any
 	// Parallelism produce identical issue lists.
@@ -276,6 +307,35 @@ func (l *LedgerDB) Verify(digests []Digest, opts VerifyOptions) (*Report, error)
 	})
 	rep.Timing.Total = time.Since(start)
 	return rep, nil
+}
+
+// maxIssueEvents caps per-issue audit events from one verification run
+// so a badly tampered database cannot flush the whole event ring.
+const maxIssueEvents = 16
+
+// noteVerifyFinished records the run for health tracking and emits the
+// finish (and per-issue) audit events.
+func (l *LedgerDB) noteVerifyFinished(rep *Report) {
+	ev := l.obs.Events()
+	for i, iss := range rep.Issues {
+		if i == maxIssueEvents {
+			ev.Warn(obs.EventVerifyIssue, "suppressed", len(rep.Issues)-maxIssueEvents)
+			break
+		}
+		ev.Warn(obs.EventVerifyIssue,
+			"invariant", iss.Invariant, "table", iss.Table, "warning", iss.Warning, "detail", iss.Detail)
+	}
+	ev.Info(obs.EventVerifyFinished,
+		"ok", rep.Ok(), "issues", len(rep.Issues),
+		"blocks", rep.BlocksChecked, "transactions", rep.TransactionsChecked,
+		"row_versions", rep.RowVersionsChecked,
+		"duration_seconds", rep.Timing.Total.Seconds())
+	l.healthMu.Lock()
+	l.lastVerify = verifyMark{
+		done: true, at: time.Now(), dur: rep.Timing.Total,
+		ok: rep.Ok(), issues: len(rep.Issues),
+	}
+	l.healthMu.Unlock()
 }
 
 // opLeaf is one recomputed row-version hash attributed to a transaction.
@@ -307,7 +367,7 @@ type shardOps struct {
 // per-shard tx→ops map, so one large table keeps every core busy. Stage
 // two merges the shards and fans the per-transaction Merkle-root
 // recomputation back out over the pool.
-func (l *LedgerDB) verifyTable(lt *LedgerTable, entries map[uint64]*wal.LedgerEntry, truncatedBefore, truncatedMaxTx uint64, parallelism int, pool *workerPool, rep *Report) {
+func (l *LedgerDB) verifyTable(lt *LedgerTable, entries map[uint64]*wal.LedgerEntry, truncatedBefore, truncatedMaxTx uint64, parallelism int, pool *workerPool, rep *Report, prog *progressSink, weight float64) {
 	s := lt.table.Schema()
 	name := lt.Name()
 
@@ -342,7 +402,9 @@ func (l *LedgerDB) verifyTable(lt *LedgerTable, entries map[uint64]*wal.LedgerEn
 	if lt.history != nil {
 		addScans(lt.history, true)
 	}
-	pool.run(tasks)
+	// Shard scans carry most of a table's row-version cost; the Merkle
+	// root recomputation below gets the rest.
+	pool.run(wrapProgress(tasks, prog, weight*0.7, "row_versions", name))
 
 	// Adopt the first shard's map and merge the rest into it, so the
 	// common serial case (one shard, no history) merges nothing.
@@ -421,7 +483,7 @@ func (l *LedgerDB) verifyTable(lt *LedgerTable, entries map[uint64]*wal.LedgerEn
 			}
 		})
 	}
-	pool.run(rootTasks)
+	pool.run(wrapProgress(rootTasks, prog, weight*0.3, "row_versions", name))
 	for _, sub := range subs {
 		rep.Issues = append(rep.Issues, sub.Issues...)
 	}
@@ -483,7 +545,7 @@ func allHistoryInserts(ops []opLeaf) bool {
 // index's entry key per row and feeds per-index accumulators. That
 // replaces the per-index base re-scan (O(indexes × rows)) and the
 // O(n log n) sort of recomputed pairs of the serial implementation.
-func (l *LedgerDB) verifyIndexes(lt *LedgerTable, parallelism int, pool *workerPool, rep *Report) {
+func (l *LedgerDB) verifyIndexes(lt *LedgerTable, parallelism int, pool *workerPool, rep *Report, prog *progressSink, weight float64) {
 	type tableRef struct {
 		name string
 		t    *engine.Table
@@ -492,9 +554,11 @@ func (l *LedgerDB) verifyIndexes(lt *LedgerTable, parallelism int, pool *workerP
 	if lt.history != nil {
 		tables = append(tables, tableRef{lt.history.Name(), lt.history})
 	}
+	perRef := weight / float64(len(tables))
 	for _, tr := range tables {
 		ixs := tr.t.Indexes()
 		if len(ixs) == 0 {
+			prog.add(perRef, "indexes", tr.name)
 			continue
 		}
 		rep.IndexesChecked += len(ixs)
@@ -542,7 +606,7 @@ func (l *LedgerDB) verifyIndexes(lt *LedgerTable, parallelism int, pool *workerP
 				})
 			})
 		}
-		pool.run(tasks)
+		pool.run(wrapProgress(tasks, prog, perRef, "indexes", tr.name))
 
 		actual := make([]merkle.Accumulator, len(ixs))
 		ordered := make([]bool, len(ixs))

@@ -599,6 +599,7 @@ func (db *DB) recover() error {
 	pending := make(map[uint64][]writeOp)
 	var entries []*wal.LedgerEntry
 	maxTx := uint64(0)
+	records := 0
 	for {
 		rec, err := reader.Next()
 		if err == io.EOF {
@@ -607,6 +608,7 @@ func (db *DB) recover() error {
 		if err != nil {
 			return fmt.Errorf("engine: recovery read: %w", err)
 		}
+		records++
 		if rec.TxID > maxTx {
 			maxTx = rec.TxID
 		}
@@ -657,6 +659,11 @@ func (db *DB) recover() error {
 	}
 	if db.opts.Hook != nil {
 		db.opts.Hook.Recovered(entries)
+	}
+	if records > 0 {
+		db.obs.Events().Info(obs.EventRecoveryReplay,
+			"snapshot_lsn", snapLSN, "records", records,
+			"committed_ledger_entries", len(entries), "end_lsn", db.log.Size())
 	}
 	return nil
 }

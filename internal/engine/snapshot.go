@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"sqlledger/internal/obs"
 	"sqlledger/internal/sqltypes"
 	"sqlledger/internal/wal"
 )
@@ -69,6 +70,7 @@ func (db *DB) Checkpoint() (int64, error) {
 		return 0, err
 	}
 	db.checkpointLSN = snapLSN
+	db.obs.Events().Info(obs.EventWALCheckpoint, "snapshot_lsn", snapLSN)
 	return snapLSN, nil
 }
 

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The ring must keep only the newest events while Recorded counts all of
+// them, and Recent must walk newest-first across the wrap point.
+func TestEventLogRingWraparound(t *testing.T) {
+	e := newEventLog(4, true)
+	for i := 0; i < 10; i++ {
+		e.Info("tick", "i", i)
+	}
+	if e.Recorded() != 10 {
+		t.Fatalf("Recorded = %d, want 10", e.Recorded())
+	}
+	recent := e.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(recent))
+	}
+	for i, ev := range recent {
+		wantSeq := int64(10 - i)
+		if ev.Seq != wantSeq {
+			t.Fatalf("recent[%d].Seq = %d, want %d (newest first)", i, ev.Seq, wantSeq)
+		}
+		if ev.Attrs[0].Key != "i" || ev.Attrs[0].Value != 9-i {
+			t.Fatalf("recent[%d] attrs = %+v", i, ev.Attrs)
+		}
+	}
+	if got := e.Recent(2); len(got) != 2 || got[0].Seq != 10 {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+	if got := e.Recent(100); len(got) != 4 {
+		t.Fatalf("Recent(100) returned %d events", len(got))
+	}
+}
+
+func TestEventLogLevelsAndTypes(t *testing.T) {
+	e := newEventLog(16, true)
+	e.Info(EventBlockClosed, "block", int64(1))
+	e.Warn(EventVerifyIssue, "invariant", "I2")
+	e.Error(EventBlobstoreError, "op", "put")
+	e.Info(EventBlockClosed, "block", int64(2))
+
+	recent := e.Recent(0)
+	wantLevels := []slog.Level{slog.LevelInfo, slog.LevelError, slog.LevelWarn, slog.LevelInfo}
+	for i, ev := range recent {
+		if ev.Level != wantLevels[i] {
+			t.Fatalf("recent[%d].Level = %v, want %v", i, ev.Level, wantLevels[i])
+		}
+		if ev.Time.IsZero() {
+			t.Fatalf("event without timestamp: %+v", ev)
+		}
+	}
+	closed := e.RecentOfType(EventBlockClosed, 0)
+	if len(closed) != 2 || closed[0].Attrs[0].Value != int64(2) {
+		t.Fatalf("RecentOfType(block_closed) = %+v", closed)
+	}
+	if got := e.RecentOfType(EventBlockClosed, 1); len(got) != 1 {
+		t.Fatalf("RecentOfType limit ignored: %+v", got)
+	}
+	if got := e.RecentOfType("nope", 0); len(got) != 0 {
+		t.Fatalf("RecentOfType(nope) = %+v", got)
+	}
+}
+
+// Odd argument counts and non-string keys must follow slog's !BADKEY
+// convention instead of panicking.
+func TestEventLogBadKeys(t *testing.T) {
+	e := newEventLog(4, true)
+	e.Info("odd", "key", 1, "dangling")
+	e.Info("nonstring", 42, "value")
+	recent := e.Recent(0)
+	odd := recent[1]
+	if len(odd.Attrs) != 2 || odd.Attrs[1].Key != "!BADKEY" || odd.Attrs[1].Value != "dangling" {
+		t.Fatalf("odd kv attrs = %+v", odd.Attrs)
+	}
+	ns := recent[0]
+	if len(ns.Attrs) != 1 || ns.Attrs[0].Key != "!BADKEY" {
+		t.Fatalf("non-string key attrs = %+v", ns.Attrs)
+	}
+}
+
+// Disabled and nil event logs must be inert and crash-free, mirroring the
+// registry-wide contract.
+func TestEventLogDisabledAndNil(t *testing.T) {
+	d := Disabled().Events()
+	d.Info("x", "k", "v")
+	d.Warn("x")
+	d.Error("x")
+	if d.Enabled() || d.Recorded() != 0 || len(d.Recent(0)) != 0 {
+		t.Fatalf("disabled event log recorded something")
+	}
+
+	var nilLog *EventLog
+	nilLog.Info("x")
+	nilLog.SetLogger(slog.Default())
+	if nilLog.Enabled() || nilLog.Recorded() != 0 {
+		t.Fatal("nil event log reports activity")
+	}
+	if nilLog.Recent(5) != nil || nilLog.RecentOfType("x", 5) != nil {
+		t.Fatal("nil event log returned events")
+	}
+
+	var nilReg *Registry
+	nilReg.Events().Info("x", "k", "v")
+}
+
+// Events must mirror to an attached slog sink and stop when detached.
+func TestEventLogSlogMirror(t *testing.T) {
+	e := newEventLog(8, true)
+	var buf bytes.Buffer
+	e.SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+	e.Info(EventDigestUploaded, "block", 7)
+	if out := buf.String(); !strings.Contains(out, "msg=digest_uploaded") || !strings.Contains(out, "block=7") {
+		t.Fatalf("slog mirror missing event: %q", out)
+	}
+	e.SetLogger(nil)
+	buf.Reset()
+	e.Info(EventBlockClosed, "block", 8)
+	if buf.Len() != 0 {
+		t.Fatalf("detached logger still received: %q", buf.String())
+	}
+	if e.Recorded() != 2 {
+		t.Fatalf("Recorded = %d, want 2", e.Recorded())
+	}
+}
+
+func TestEventLogConcurrent(t *testing.T) {
+	e := newEventLog(32, true)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				e.Info("tick", "worker", fmt.Sprint(w))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if e.Recorded() != workers*per {
+		t.Fatalf("Recorded = %d, want %d", e.Recorded(), workers*per)
+	}
+	recent := e.Recent(0)
+	if len(recent) != 32 {
+		t.Fatalf("ring holds %d, want 32", len(recent))
+	}
+	for i := 1; i < len(recent); i++ {
+		if recent[i].Seq >= recent[i-1].Seq {
+			t.Fatalf("ring order broken at %d: %d then %d", i, recent[i-1].Seq, recent[i].Seq)
+		}
+	}
+}

@@ -4,40 +4,74 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 )
 
-// Handler returns an http.Handler serving the registry:
+// Mux returns the observability ServeMux for a registry:
 //
-//	/metrics      Prometheus text exposition
-//	/debug/spans  recent finished spans as JSON (?n=N limits the count)
-func Handler(r *Registry) http.Handler {
+//	/metrics       Prometheus text exposition (runtime-sampled per scrape)
+//	/debug/spans   recent finished spans as JSON (?n=N limits the count)
+//	/debug/events  recent audit events as JSON (?n=N, ?type=T filter)
+//	/debug/pprof/  Go profiling endpoints (heap, goroutine, profile, …)
+//
+// Callers that serve additional endpoints (core's /healthz and
+// /debug/ledger) register them on the returned mux.
+func Mux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		SampleRuntime(r) // scrape-time freshness for the runtime gauges
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, req *http.Request) {
-		n := 0
-		if s := req.URL.Query().Get("n"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil {
-				n = v
-			}
-		}
-		spans := r.Tracer().Recent(n)
+		spans := r.Tracer().Recent(queryInt(req, "n"))
 		if spans == nil {
 			spans = []SpanRecord{}
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(spans)
+		writeJSON(w, spans)
 	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, req *http.Request) {
+		var events []Event
+		if typ := req.URL.Query().Get("type"); typ != "" {
+			events = r.Events().RecentOfType(typ, queryInt(req, "n"))
+		} else {
+			events = r.Events().Recent(queryInt(req, "n"))
+		}
+		if events == nil {
+			events = []Event{}
+		}
+		writeJSON(w, events)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
-// Server is a running metrics HTTP server.
+// Handler returns an http.Handler serving the registry (see Mux).
+func Handler(r *Registry) http.Handler { return Mux(r) }
+
+func queryInt(req *http.Request, key string) int {
+	if s := req.URL.Query().Get(key); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Server is a running observability HTTP server.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
@@ -46,11 +80,18 @@ type Server struct {
 // StartServer listens on addr (e.g. "127.0.0.1:0" for an ephemeral
 // port) and serves Handler(r) in a background goroutine.
 func StartServer(addr string, r *Registry) (*Server, error) {
+	return StartServerHandler(addr, Handler(r))
+}
+
+// StartServerHandler is StartServer for an arbitrary handler — used by
+// core to serve /healthz and /debug/ledger alongside the registry
+// endpoints.
+func StartServerHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
 }

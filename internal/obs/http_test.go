@@ -49,3 +49,58 @@ func TestServerMetricsAndSpans(t *testing.T) {
 		t.Fatalf("unexpected spans: %+v", spans)
 	}
 }
+
+func TestServerEventsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Events().Info(EventBlockClosed, "block", 1)
+	r.Events().Warn(EventVerifyIssue, "invariant", "I3")
+	r.Events().Info(EventBlockClosed, "block", 2)
+
+	srv, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	getJSON := func(path string, v any) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("%s decode: %v", path, err)
+		}
+	}
+
+	var events []Event
+	getJSON("/debug/events", &events)
+	if len(events) != 3 || events[0].Type != EventBlockClosed || events[0].Seq != 3 {
+		t.Fatalf("unexpected events: %+v", events)
+	}
+	var limited []Event
+	getJSON("/debug/events?n=1", &limited)
+	if len(limited) != 1 || limited[0].Seq != 3 {
+		t.Fatalf("n=1 returned %+v", limited)
+	}
+	var filtered []Event
+	getJSON("/debug/events?type="+EventVerifyIssue, &filtered)
+	if len(filtered) != 1 || filtered[0].Type != EventVerifyIssue {
+		t.Fatalf("type filter returned %+v", filtered)
+	}
+
+	// pprof must be mounted; the index page is cheap to fetch.
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d body %q", resp.StatusCode, body)
+	}
+}

@@ -33,6 +33,17 @@ const (
 	VerifyTotal           = "sqlledger_verify_total"
 	VerifyIssuesTotal     = "sqlledger_verify_issues_total"
 	VerifyPhaseSeconds    = "sqlledger_verify_phase_seconds" // label: phase
+	VerifyProgressRatio   = "sqlledger_verify_progress_ratio"
+
+	// Health (internal/core): 0 healthy, 1 degraded, 2 unhealthy.
+	HealthStatus = "sqlledger_health_status"
+
+	// Go runtime (internal/obs/runtime.go)
+	RuntimeGoroutines     = "sqlledger_runtime_goroutines"
+	RuntimeHeapAllocBytes = "sqlledger_runtime_heap_alloc_bytes"
+	RuntimeHeapSysBytes   = "sqlledger_runtime_heap_sys_bytes"
+	RuntimeGCTotal        = "sqlledger_runtime_gc_total"
+	RuntimeGCPauseSeconds = "sqlledger_runtime_gc_pause_seconds"
 
 	// Blobstore I/O (internal/blobstore), labelled op=put|get|list
 	BlobstoreOpsTotal    = "sqlledger_blobstore_ops_total"

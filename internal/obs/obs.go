@@ -210,7 +210,12 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	tracer   *Tracer
+	events   *EventLog
 	enabled  bool
+
+	// runtime sampler state (see runtime.go)
+	rtMu     sync.Mutex
+	rtLastGC uint32
 }
 
 // NewRegistry returns an enabled, empty registry.
@@ -220,16 +225,19 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		tracer:   newTracer(defaultSpanRing, true),
+		events:   newEventLog(defaultEventRing, true),
 		enabled:  true,
 	}
 }
 
-// Disabled returns a registry whose metrics and tracer are inert. It is
-// the metrics-off ablation baseline: recording costs one branch.
+// Disabled returns a registry whose metrics, tracer and event log are
+// inert. It is the metrics-off ablation baseline: recording costs one
+// branch.
 func Disabled() *Registry {
 	r := NewRegistry()
 	r.enabled = false
 	r.tracer = newTracer(0, false)
+	r.events = newEventLog(0, false)
 	return r
 }
 
@@ -251,6 +259,15 @@ func (r *Registry) Tracer() *Tracer {
 		return nil
 	}
 	return r.tracer
+}
+
+// Events returns the registry's structured event log (inert for
+// nil/disabled registries).
+func (r *Registry) Events() *EventLog {
+	if r == nil {
+		return nil
+	}
+	return r.events
 }
 
 // seriesKey identifies one (name, labels) series. Labels are sorted by

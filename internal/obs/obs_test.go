@@ -188,6 +188,65 @@ func TestTracerRing(t *testing.T) {
 	}
 }
 
+// Observations above the top finite bound must land only in the implicit
+// +Inf bucket, and quantiles that fall there must cap at the highest
+// finite bound rather than extrapolating to infinity.
+func TestHistogramAboveTopBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("top", []float64{1, 2})
+	for _, v := range []float64{0.5, 2, 5, 500} {
+		h.Observe(v)
+	}
+	hs, ok := r.Snapshot().Histogram("top")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hs.Count != 4 {
+		t.Fatalf("Count = %d, want 4", hs.Count)
+	}
+	if got := hs.Sum; got != 507.5 {
+		t.Fatalf("Sum = %v, want 507.5", got)
+	}
+	// Cumulative: le=1 -> 1, le=2 -> 2, +Inf -> 4.
+	wantCum := []int64{1, 2, 4}
+	for i, b := range hs.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if got := hs.Quantile(0.99); got != 2 {
+		t.Fatalf("p99 = %v, want 2 (capped at highest finite bound)", got)
+	}
+	if got := hs.Quantile(0.25); got != 1 {
+		t.Fatalf("p25 = %v, want 1", got)
+	}
+}
+
+// A ring overwritten more than twice must still report totals and return
+// the newest spans in order.
+func TestTracerRingWraparound(t *testing.T) {
+	tr := newTracer(4, true)
+	for i := 0; i < 10; i++ {
+		tr.Start("op", L("i", string(rune('a'+i)))).Finish(nil)
+	}
+	if tr.Recorded() != 10 {
+		t.Fatalf("Recorded = %d, want 10", tr.Recorded())
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring kept %d spans, want 4", len(recent))
+	}
+	// Newest first: i=9 ("j") down to i=6 ("g").
+	for i, sp := range recent {
+		if want := string(rune('j' - i)); sp.Labels[0].Value != want {
+			t.Fatalf("recent[%d] label = %q, want %q", i, sp.Labels[0].Value, want)
+		}
+	}
+	if got := tr.Recent(100); len(got) != 4 {
+		t.Fatalf("Recent(100) returned %d spans", len(got))
+	}
+}
+
 func TestLapTimer(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("laps", nil)

@@ -24,6 +24,14 @@ func TestWritePrometheusGolden(t *testing.T) {
 	}
 	r.Histogram("sqlledger_test_empty_seconds", []float64{1})
 	r.Gauge("sqlledger_test_escaped", L("path", `C:\data "hot"`)).Set(1)
+	// Only the implicit +Inf bucket receives these observations.
+	over := r.Histogram("sqlledger_test_over_seconds", []float64{1, 2})
+	over.Observe(16)
+	over.Observe(32)
+	// The PR-4 operational names render like any other series.
+	r.Gauge(HealthStatus).Set(1)
+	r.Gauge(VerifyProgressRatio).Set(0.5)
+	r.Counter(RuntimeGCTotal).Add(9)
 
 	var buf bytes.Buffer
 	if err := r.WritePrometheus(&buf); err != nil {

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// gcPauseBuckets bracket GC stop-the-world pauses: 10µs to 100ms.
+var gcPauseBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,
+}
+
+// SampleRuntime takes one Go runtime sample into the registry: live
+// goroutines, heap alloc/sys gauges, cumulative GC count, and the GC
+// pause histogram (fed from the pauses that completed since the last
+// sample). It is a no-op on a nil or disabled registry. The /metrics
+// handler calls it before rendering so scrapes always see fresh values.
+func SampleRuntime(r *Registry) {
+	if !r.Enabled() {
+		return
+	}
+	r.Gauge(RuntimeGoroutines).Set(float64(runtime.NumGoroutine()))
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge(RuntimeHeapAllocBytes).Set(float64(ms.HeapAlloc))
+	r.Gauge(RuntimeHeapSysBytes).Set(float64(ms.HeapSys))
+
+	r.rtMu.Lock()
+	defer r.rtMu.Unlock()
+	if ms.NumGC <= r.rtLastGC {
+		return
+	}
+	fresh := ms.NumGC - r.rtLastGC
+	// PauseNs is a 256-entry ring indexed by GC cycle; older pauses than
+	// that are gone, so cap how far back we walk.
+	if fresh > uint32(len(ms.PauseNs)) {
+		fresh = uint32(len(ms.PauseNs))
+	}
+	pauses := r.Histogram(RuntimeGCPauseSeconds, gcPauseBuckets)
+	for i := uint32(0); i < fresh; i++ {
+		idx := (ms.NumGC - i + 255) % 256
+		pauses.Observe(float64(ms.PauseNs[idx]) / 1e9)
+	}
+	r.Counter(RuntimeGCTotal).Add(int64(ms.NumGC - r.rtLastGC))
+	r.rtLastGC = ms.NumGC
+}
+
+// StartRuntimeSampler samples the runtime into r every interval until
+// the returned stop function is called. On a nil or disabled registry
+// it starts nothing and returns an inert stop.
+func StartRuntimeSampler(r *Registry, every time.Duration) (stop func()) {
+	if !r.Enabled() || every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				SampleRuntime(r)
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestSampleRuntime(t *testing.T) {
+	r := NewRegistry()
+	runtime.GC() // guarantee at least one completed GC cycle
+	SampleRuntime(r)
+	snap := r.Snapshot()
+	if g, ok := snap.GaugeValue(RuntimeGoroutines); !ok || g < 1 {
+		t.Fatalf("goroutines gauge = %v, %v", g, ok)
+	}
+	if g, ok := snap.GaugeValue(RuntimeHeapAllocBytes); !ok || g <= 0 {
+		t.Fatalf("heap alloc gauge = %v, %v", g, ok)
+	}
+	if g, ok := snap.GaugeValue(RuntimeHeapSysBytes); !ok || g <= 0 {
+		t.Fatalf("heap sys gauge = %v, %v", g, ok)
+	}
+	if c := snap.CounterValue(RuntimeGCTotal); c < 1 {
+		t.Fatalf("gc total = %d, want >= 1", c)
+	}
+	hs, ok := snap.Histogram(RuntimeGCPauseSeconds)
+	if !ok || hs.Count < 1 {
+		t.Fatalf("gc pause histogram missing or empty: %+v", hs)
+	}
+
+	// A second sample with no new GC cycles must not double-count pauses.
+	before := hs.Count
+	gcBefore := snap.CounterValue(RuntimeGCTotal)
+	SampleRuntime(r)
+	snap = r.Snapshot()
+	hs, _ = snap.Histogram(RuntimeGCPauseSeconds)
+	extraGC := snap.CounterValue(RuntimeGCTotal) - gcBefore
+	if hs.Count-before != extraGC {
+		t.Fatalf("pause observations (%d) != fresh GC cycles (%d)", hs.Count-before, extraGC)
+	}
+}
+
+func TestSampleRuntimeDisabled(t *testing.T) {
+	SampleRuntime(nil)
+	d := Disabled()
+	SampleRuntime(d)
+	if _, ok := d.Snapshot().GaugeValue(RuntimeGoroutines); ok {
+		t.Fatal("disabled registry recorded runtime gauges")
+	}
+}
+
+func TestStartRuntimeSampler(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeSampler(r, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g, ok := r.Snapshot().GaugeValue(RuntimeGoroutines); ok && g > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler never wrote the goroutine gauge")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // stop must be idempotent
+
+	// Inert variants must not start goroutines or panic.
+	StartRuntimeSampler(nil, time.Millisecond)()
+	StartRuntimeSampler(Disabled(), time.Millisecond)()
+	StartRuntimeSampler(r, 0)()
+}

@@ -96,6 +96,7 @@ type Log struct {
 	size int64
 	mode SyncMode
 	m    logMetrics
+	torn int64 // bytes truncated from a torn tail at Open; reported once
 }
 
 // logMetrics holds the log's metric handles, resolved once so the append
@@ -150,7 +151,9 @@ func Open(path string, mode SyncMode) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
+	torn := int64(0)
 	if valid < st.Size() {
+		torn = st.Size() - valid
 		if err := f.Truncate(valid); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
@@ -165,6 +168,7 @@ func Open(path string, mode SyncMode) (*Log, error) {
 		w:    bufio.NewWriterSize(f, 1<<20),
 		size: valid,
 		mode: mode,
+		torn: torn,
 		// A private registry keeps SyncCount and friends working for logs
 		// opened standalone; Instrument rebinds onto a shared one.
 		m: bindLogMetrics(obs.NewRegistry()),
@@ -173,11 +177,18 @@ func Open(path string, mode SyncMode) (*Log, error) {
 
 // Instrument rebinds the log's metrics onto reg. Call it right after
 // Open, before the log sees concurrent traffic; counts recorded before
-// the rebind stay on the previous registry.
+// the rebind stay on the previous registry. If Open truncated a torn
+// tail, the first Instrument reports it as an audit event — a crash
+// mid-write is expected with buffered durability but worth a record.
 func (l *Log) Instrument(reg *obs.Registry) {
 	l.mu.Lock()
 	l.m = bindLogMetrics(reg)
+	torn, valid := l.torn, l.size
+	l.torn = 0
 	l.mu.Unlock()
+	if torn > 0 {
+		reg.Events().Warn(obs.EventWALTornTail, "bytes", torn, "valid_prefix", valid)
+	}
 }
 
 // validPrefix returns the length of the longest prefix of the file that

@@ -104,8 +104,29 @@ type (
 	// verification run) from the registry's ring buffer.
 	SpanRecord = obs.SpanRecord
 	// MetricsServer is a live HTTP server exposing /metrics (Prometheus
-	// text) and /debug/spans (JSON).
+	// text), /debug/spans + /debug/events (JSON) and /debug/pprof.
 	MetricsServer = obs.Server
+	// Event is one structured ledger audit event (block closed, digest
+	// uploaded, verification finished, …) from the registry's event log.
+	Event = obs.Event
+	// EventLog is the registry's bounded structured event log
+	// (reg.Events()), mirrored to /debug/events.
+	EventLog = obs.EventLog
+
+	// Health is the typed health status served at /healthz.
+	Health = core.Health
+	// HealthState is the coarse health status (healthy/degraded/unhealthy).
+	HealthState = core.HealthState
+	// HealthThresholds tunes when a HealthChecker degrades the status.
+	HealthThresholds = core.HealthThresholds
+	// HealthChecker aggregates chain height, digest lag, queue depth and
+	// the last verification outcome (DB.NewHealthChecker).
+	HealthChecker = core.HealthChecker
+	// LedgerDebug is the /debug/ledger snapshot (DB.DebugInfo).
+	LedgerDebug = core.LedgerDebug
+	// VerifyProgress is one streaming progress update from a verification
+	// run (VerifyOptions.Progress).
+	VerifyProgress = core.VerifyProgress
 
 	// Schema describes a table's columns and primary key.
 	Schema = sqltypes.Schema
@@ -183,9 +204,24 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 func DisabledMetrics() *MetricsRegistry { return obs.Disabled() }
 
 // StartMetricsServer serves reg over HTTP at addr ("127.0.0.1:0" picks a
-// free port): /metrics in Prometheus text format, /debug/spans as JSON.
+// free port): /metrics in Prometheus text format, /debug/spans and
+// /debug/events as JSON, /debug/pprof for profiling.
 func StartMetricsServer(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
 	return obs.StartServer(addr, reg)
+}
+
+// StartOpsServer serves db's full operational surface at addr: the
+// registry endpoints plus /healthz (with default thresholds) and
+// /debug/ledger. Equivalent to db.StartOpsServer(addr).
+func StartOpsServer(addr string, db *DB) (*MetricsServer, error) {
+	return db.StartOpsServer(addr)
+}
+
+// StartRuntimeSampler samples Go runtime metrics (goroutines, heap, GC
+// pauses) into reg every interval; call the returned stop function to
+// end sampling. The /metrics endpoint also samples once per scrape.
+func StartRuntimeSampler(reg *MetricsRegistry, every time.Duration) (stop func()) {
+	return obs.StartRuntimeSampler(reg, every)
 }
 
 // RestoreToTime point-in-time-restores the database in srcDir into dstDir
