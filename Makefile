@@ -67,5 +67,15 @@ bench-verify:
 bench-commit:
 	go test -run - -bench CommitConcurrent -benchtime 2000x .
 
+# Ingest-scaling gate + benchmark: serial inserts vs. the InsertBatch
+# worker pool at 1/2/4/8 hashing workers. Race-free on purpose — the
+# scaling gate measures wall-clock ratios and the allocation gates use
+# testing.AllocsPerRun, both of which the race detector distorts.
+.PHONY: bench-ingest
+bench-ingest:
+	go test -run 'IngestScaling' -v .
+	go test -run 'Alloc' ./internal/serial/ ./internal/core/
+	go test -run - -bench 'Ingest' -benchmem .
+
 .PHONY: check
 check: fmt-check vet test test-race-verify test-race-commit test-race-obs test-race-health

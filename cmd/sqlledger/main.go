@@ -208,7 +208,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: sqlledger -db DIR COMMAND [args]
 commands:
   create TABLE col:TYPE[:key|:null]...   create an updateable ledger table
-  insert TABLE v1 v2 ...                 insert a row
+  insert TABLE v1 v2 ... [';' v1 v2 ...] insert one or more rows (one tx)
   update TABLE v1 v2 ...                 update the row with that key
   delete TABLE key                       delete by (first) key column
   select TABLE                           print current rows
@@ -352,6 +352,23 @@ func rowFromArgs(lt *sqlledger.LedgerTable, args []string) sqlledger.Row {
 	return row
 }
 
+// splitRows splits CLI value arguments into per-row groups on literal
+// ";" separators: `insert t a 1 ';' b 2` inserts two rows in one
+// transaction.
+func splitRows(args []string) [][]string {
+	var groups [][]string
+	cur := []string{}
+	for _, a := range args {
+		if a == ";" {
+			groups = append(groups, cur)
+			cur = []string{}
+			continue
+		}
+		cur = append(cur, a)
+	}
+	return append(groups, cur)
+}
+
 func cmdWrite(db *sqlledger.DB, op string, args []string) {
 	if len(args) < 2 {
 		usage()
@@ -360,12 +377,21 @@ func cmdWrite(db *sqlledger.DB, op string, args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	row := rowFromArgs(lt, args[1:])
+	groups := splitRows(args[1:])
+	if op != "insert" && len(groups) > 1 {
+		fatal(fmt.Errorf("multi-row ';' syntax is only supported for insert"))
+	}
 	tx := db.Begin(*user)
-	if op == "insert" {
-		err = tx.Insert(lt, row)
+	if op == "insert" && len(groups) > 1 {
+		rows := make([]sqlledger.Row, len(groups))
+		for i, g := range groups {
+			rows[i] = rowFromArgs(lt, g)
+		}
+		err = tx.InsertBatch(lt, rows)
+	} else if op == "insert" {
+		err = tx.Insert(lt, rowFromArgs(lt, groups[0]))
 	} else {
-		err = tx.Update(lt, row)
+		err = tx.Update(lt, rowFromArgs(lt, groups[0]))
 	}
 	if err != nil {
 		tx.Rollback()
@@ -374,7 +400,11 @@ func cmdWrite(db *sqlledger.DB, op string, args []string) {
 	if err := tx.Commit(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s ok (tx %d)\n", op, tx.ID())
+	if len(groups) > 1 {
+		fmt.Printf("%s ok (%d rows, tx %d)\n", op, len(groups), tx.ID())
+	} else {
+		fmt.Printf("%s ok (tx %d)\n", op, tx.ID())
+	}
 }
 
 func cmdDelete(db *sqlledger.DB, args []string) {

@@ -74,6 +74,11 @@ type Options struct {
 	// creates a private enabled registry; pass obs.Disabled() to turn
 	// recording off.
 	Obs *obs.Registry
+	// Clock, if set, supplies timestamps (unix nanoseconds) for commit
+	// ordering, the database incarnation, block closing and digest
+	// generation in place of time.Now. A logical clock makes digests
+	// byte-for-byte reproducible across runs; nil uses the wall clock.
+	Clock func() int64
 }
 
 // System table names.
@@ -138,8 +143,14 @@ type LedgerDB struct {
 	m   ledgerMetrics
 }
 
+// hashBatchBuckets sizes the hash_batch_size histogram: batch row counts
+// from single-row DML up to bulk loads.
+var hashBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
 // ledgerMetrics holds the core's metric handles, resolved once at Open.
 type ledgerMetrics struct {
+	rowsHashed          *obs.Counter
+	hashBatchSize       *obs.Histogram
 	blocksClosed        *obs.Counter
 	blockCloseSeconds   *obs.Histogram
 	queueLength         *obs.Gauge
@@ -162,6 +173,8 @@ func bindLedgerMetrics(reg *obs.Registry) ledgerMetrics {
 		return reg.Histogram(obs.VerifyPhaseSeconds, nil, obs.L("phase", p))
 	}
 	return ledgerMetrics{
+		rowsHashed:          reg.Counter(obs.RowsHashedTotal),
+		hashBatchSize:       reg.Histogram(obs.HashBatchSize, hashBatchBuckets),
 		blocksClosed:        reg.Counter(obs.BlocksClosedTotal),
 		blockCloseSeconds:   reg.Histogram(obs.BlockCloseSeconds, nil),
 		queueLength:         reg.Gauge(obs.LedgerQueueLength),
@@ -224,6 +237,7 @@ func Open(opts Options) (*LedgerDB, error) {
 		LockTimeout: opts.LockTimeout,
 		Hook:        h,
 		Obs:         opts.Obs,
+		Clock:       opts.Clock,
 	})
 	if err != nil {
 		return nil, err
@@ -320,6 +334,15 @@ func (l *LedgerDB) Snapshot() obs.Snapshot { return l.obs.Snapshot() }
 
 const incarnationFile = "createtime"
 
+// nowNanos returns the current time from Options.Clock, or the wall
+// clock when none is configured.
+func (l *LedgerDB) nowNanos() int64 {
+	if l.opts.Clock != nil {
+		return l.opts.Clock()
+	}
+	return time.Now().UnixNano()
+}
+
 func (l *LedgerDB) loadIncarnation() error {
 	p := filepath.Join(l.opts.Dir, incarnationFile)
 	b, err := os.ReadFile(p)
@@ -334,7 +357,7 @@ func (l *LedgerDB) loadIncarnation() error {
 	if !os.IsNotExist(err) {
 		return err
 	}
-	l.incarnation = time.Now().UnixNano()
+	l.incarnation = l.nowNanos()
 	if werr := os.WriteFile(p, []byte(strconv.FormatInt(l.incarnation, 10)), 0o644); werr != nil {
 		return werr
 	}
@@ -622,7 +645,7 @@ func (l *LedgerDB) closeOneBlock(b int64) (err error) {
 		sqltypes.NewBinary(append([]byte(nil), l.prevHash[:]...)),
 		sqltypes.NewBinary(append([]byte(nil), root[:]...)),
 		sqltypes.NewBigInt(int64(len(entries))),
-		sqltypes.NewDateTime(time.Now()),
+		sqltypes.Value{Type: sqltypes.TypeDateTime, I64: l.nowNanos()},
 	}
 	// Persisting the closed block is a regular, WAL-logged table
 	// update, so its durability is guaranteed by the engine.

@@ -108,7 +108,7 @@ func (l *LedgerDB) GenerateDigest() (d Digest, err error) {
 		BlockID:      uint64(latest),
 		Hash:         hash.String(),
 		LastCommitTS: lastTS,
-		GeneratedAt:  time.Now().UnixNano(),
+		GeneratedAt:  l.nowNanos(),
 	}, nil
 }
 

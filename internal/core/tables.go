@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"sqlledger/internal/engine"
+	"sqlledger/internal/serial"
 	"sqlledger/internal/sqltypes"
 )
 
@@ -19,6 +20,14 @@ type LedgerTable struct {
 
 	// Ordinals of the four hidden system columns (§3.1).
 	startTxOrd, startSeqOrd, endTxOrd, endSeqOrd int
+
+	// skipEnd is the precomputed skip mask excluding the end-transaction
+	// system columns from a version's insert-time hash: they were NULL
+	// when the version was created, so excluding them makes the hash
+	// recomputable after the version moves to the history table with the
+	// end columns populated (§3.1, §3.4). A bitmask instead of a closure
+	// keeps the per-row hash path allocation-free.
+	skipEnd serial.SkipMask
 }
 
 // Name returns the table name.
@@ -40,14 +49,6 @@ func (lt *LedgerTable) History() *engine.Table { return lt.history }
 // VisibleColumns returns the application-visible columns.
 func (lt *LedgerTable) VisibleColumns() []sqltypes.Column {
 	return lt.table.Schema().VisibleColumns()
-}
-
-// skipEndColumns excludes the end-transaction system columns from a
-// version's insert-time hash: they were NULL when the version was created,
-// so excluding them makes the hash recomputable after the version moves to
-// the history table with the end columns populated (§3.1, §3.4).
-func (lt *LedgerTable) skipEndColumns(ord int) bool {
-	return ord == lt.endTxOrd || ord == lt.endSeqOrd
 }
 
 // isReservedColumn reports whether a column name collides with one of the
@@ -185,6 +186,7 @@ func (l *LedgerDB) wrapLedgerTable(t *engine.Table) (*LedgerTable, error) {
 	if lt.endSeqOrd, err = named(ColEndSeq); err != nil {
 		return nil, err
 	}
+	lt.skipEnd = serial.NewSkipMask(lt.endTxOrd, lt.endSeqOrd)
 	if m.Ledger == engine.LedgerUpdateable {
 		if lt.history, err = l.edb.TableByID(m.HistoryTableID); err != nil {
 			return nil, fmt.Errorf("core: history table of %s: %w", m.Name, err)
@@ -228,8 +230,15 @@ func (l *LedgerDB) LedgerTables() []*LedgerTable {
 // into a storage row: hidden columns receive the transaction/sequence
 // values, dropped columns receive NULL.
 func (lt *LedgerTable) fullRow(visible sqltypes.Row, txID uint64, seq uint32) (sqltypes.Row, error) {
+	return lt.fullRowInto(make(sqltypes.Row, len(lt.table.Schema().Columns)), visible, txID, seq)
+}
+
+// fullRowInto is fullRow writing into caller-provided storage (len must
+// equal the physical column count). Batched ingest carves per-row
+// destinations out of one slab so a bulk load costs one allocation
+// instead of one per row.
+func (lt *LedgerTable) fullRowInto(out sqltypes.Row, visible sqltypes.Row, txID uint64, seq uint32) (sqltypes.Row, error) {
 	s := lt.table.Schema()
-	out := make(sqltypes.Row, len(s.Columns))
 	vi := 0
 	for i, c := range s.Columns {
 		switch {

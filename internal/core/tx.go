@@ -1,8 +1,12 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"sqlledger/internal/engine"
 	"sqlledger/internal/merkle"
@@ -21,13 +25,33 @@ type Tx struct {
 	l   *LedgerDB
 	etx *engine.Tx
 
+	// state holds the per-transaction ledger bookkeeping (Merkle trees,
+	// savepoint snapshots, the commit-time roots buffer). It is nil until
+	// the first ledger DML or savepoint, so read-only ledger transactions
+	// allocate none of it, and it is recycled through txStatePool when the
+	// transaction finishes.
+	state *txState
+}
+
+// txState is the pooled ledger bookkeeping of one transaction.
+type txState struct {
 	// trees holds the per-ledger-table streaming Merkle tree of row
 	// versions updated by this transaction.
 	trees map[uint32]*merkle.Streaming
 	// spSnaps[token] captures the state of every tree when savepoint
 	// token was created, aligned with the engine's savepoint stack.
 	spSnaps [][]treeSnap
+	// roots is the commit-time scratch buffer for the sorted per-table
+	// roots. Safe to reuse across transactions: the engine serializes it
+	// into the WAL commit record during Commit and the ledger hook copies
+	// it into the queued entry (assignBlock), so nothing aliases it after
+	// Commit returns.
+	roots []wal.TableRoot
 }
+
+var txStatePool = sync.Pool{New: func() any {
+	return &txState{trees: make(map[uint32]*merkle.Streaming)}
+}}
 
 type treeSnap struct {
 	tableID uint32
@@ -36,7 +60,7 @@ type treeSnap struct {
 
 // Begin starts a ledger transaction on behalf of user.
 func (l *LedgerDB) Begin(user string) *Tx {
-	return &Tx{l: l, etx: l.edb.Begin(user), trees: make(map[uint32]*merkle.Streaming)}
+	return &Tx{l: l, etx: l.edb.Begin(user)}
 }
 
 // ID returns the transaction id.
@@ -48,11 +72,44 @@ func (tx *Tx) ID() uint64 { return tx.etx.ID() }
 // verification process exists to detect.
 func (tx *Tx) Raw() *engine.Tx { return tx.etx }
 
+// ensureState materializes the pooled ledger bookkeeping.
+func (tx *Tx) ensureState() *txState {
+	if tx.state == nil {
+		tx.state = txStatePool.Get().(*txState)
+	}
+	return tx.state
+}
+
+// releaseState recycles the transaction's Merkle trees and bookkeeping.
+// Called exactly once, when the transaction finishes (commit or rollback);
+// both paths run on the transaction's own goroutine, so the caller's
+// deferred Rollback after a successful Commit observes state == nil and
+// does not double-release.
+func (tx *Tx) releaseState() {
+	st := tx.state
+	if st == nil {
+		return
+	}
+	tx.state = nil
+	tx.etx.Roots = nil // drop the alias into st.roots before recycling
+	for id, tr := range st.trees {
+		merkle.PutStreaming(tr)
+		delete(st.trees, id)
+	}
+	for i := range st.spSnaps {
+		st.spSnaps[i] = nil
+	}
+	st.spSnaps = st.spSnaps[:0]
+	st.roots = st.roots[:0]
+	txStatePool.Put(st)
+}
+
 func (tx *Tx) tree(lt *LedgerTable) *merkle.Streaming {
-	t := tx.trees[lt.ID()]
+	st := tx.ensureState()
+	t := st.trees[lt.ID()]
 	if t == nil {
-		t = &merkle.Streaming{}
-		tx.trees[lt.ID()] = t
+		t = merkle.GetStreaming()
+		st.trees[lt.ID()] = t
 	}
 	return t
 }
@@ -68,7 +125,157 @@ func (tx *Tx) Insert(lt *LedgerTable, visible sqltypes.Row) error {
 	if _, err := tx.etx.Insert(lt.table, full); err != nil {
 		return err
 	}
-	tx.tree(lt).Append(serial.HashRow(lt.table.Schema(), full, serial.OpInsert, lt.skipEndColumns))
+	tx.tree(lt).Append(serial.HashRow(lt.table.Schema(), full, serial.OpInsert, lt.skipEnd))
+	tx.l.m.rowsHashed.Inc()
+	return nil
+}
+
+// batchParallelMin is the smallest batch hashed on worker goroutines;
+// below it the fan-out overhead exceeds the hashing work.
+const batchParallelMin = 16
+
+// prepared holds one row's results from the parallel hashing phase of
+// InsertBatch: the expanded storage row, its clustered key, the row
+// version hash and the pre-assigned sequence number.
+type prepared struct {
+	full sqltypes.Row
+	key  []byte
+	enc  []byte // pre-encoded WAL payload
+	hash merkle.Hash
+	seq  uint32
+	err  error
+}
+
+// prepPool recycles the per-batch prepared slices: a 1000-row batch's
+// slice is ~100KB, and allocating (and zeroing) one per call dominated
+// the batch fast path's allocation profile.
+var prepPool = sync.Pool{New: func() any { return new([]prepared) }}
+
+// InsertBatch adds many rows to a ledger table, serializing and hashing
+// the row versions on a worker pool while preserving the exact Merkle
+// append order, engine write order and sequence numbers of the equivalent
+// one-at-a-time Inserts — so per-table roots, ledger entries and digests
+// are byte-identical to the serial path (pinned by
+// TestInsertBatchEquivalence). Uses one worker per CPU.
+//
+// On error the transaction's ledger state is consistent (hashes for the
+// rows inserted before the failure are appended, as with serial Inserts),
+// but the sequence counter may have advanced past the failed row; roll
+// back the transaction, or to a prior savepoint, before committing.
+func (tx *Tx) InsertBatch(lt *LedgerTable, rows []sqltypes.Row) error {
+	return tx.InsertBatchParallel(lt, rows, 0)
+}
+
+// InsertBatchParallel is InsertBatch with an explicit worker count
+// (0 = one per CPU). Exposed for the ingest-scaling benchmarks.
+func (tx *Tx) InsertBatchParallel(lt *LedgerTable, rows []sqltypes.Row, workers int) error {
+	n := len(rows)
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n < batchParallelMin || lt.table.Meta().Heap {
+		for _, r := range rows {
+			if err := tx.Insert(lt, r); err != nil {
+				return err
+			}
+		}
+		tx.l.m.hashBatchSize.Observe(float64(n))
+		return nil
+	}
+
+	schema := lt.table.Schema()
+	txID := tx.etx.ID()
+
+	// Sequence numbers are assigned serially, in row order, before the
+	// fan-out — they are part of the hashed row content and must match
+	// the serial path exactly. The prepared slice is recycled across
+	// batches; every field of every element is written below, so stale
+	// pool contents never leak into a batch.
+	pp := prepPool.Get().(*[]prepared)
+	preps := *pp
+	if cap(preps) < n {
+		preps = make([]prepared, n)
+	} else {
+		preps = preps[:n]
+	}
+	defer func() {
+		clear(preps)
+		*pp = preps
+		prepPool.Put(pp)
+	}()
+	for i := range preps {
+		preps[i].seq = tx.etx.NextSeq()
+	}
+
+	// All storage rows for the batch are carved out of one value slab
+	// (one allocation instead of n); the rows keep transaction lifetime
+	// through the engine overlay, as with serial inserts.
+	ncols := len(schema.Columns)
+	slab := make([]sqltypes.Value, n*ncols)
+
+	// Workers pull row indices off a shared counter and do the expensive
+	// per-row work: storage-row construction, validation, clustered-key
+	// encoding and SHA-256 row hashing.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				p := &preps[i]
+				dst := slab[i*ncols : (i+1)*ncols : (i+1)*ncols]
+				full, err := lt.fullRowInto(dst, rows[i], txID, p.seq)
+				p.full, p.key, p.err = nil, nil, err
+				if err != nil {
+					continue
+				}
+				if err := schema.Validate(full); err != nil {
+					p.err = err
+					continue
+				}
+				p.full = full
+				p.key = lt.table.KeyFor(full)
+				p.enc = wal.AppendDML(nil, wal.RecInsert, wal.DMLPayload{
+					TableID: lt.table.ID(), Key: p.key, After: full,
+				})
+				p.hash = serial.HashRow(schema, full, serial.OpInsert, lt.skipEnd)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Apply serially in row order: engine write, then Merkle append —
+	// the same per-row order as Insert, so WAL records and tree leaves
+	// are identical to the serial path.
+	tx.etx.ReserveWrites(lt.table, n)
+	tr := tx.tree(lt)
+	hashed := 0
+	defer func() {
+		tx.l.m.rowsHashed.Add(int64(hashed))
+		tx.l.m.hashBatchSize.Observe(float64(n))
+	}()
+	for i := range preps {
+		p := &preps[i]
+		if p.err != nil {
+			return p.err
+		}
+		if err := tx.etx.InsertPrepared(lt.table, p.key, p.full, p.enc); err != nil {
+			return err
+		}
+		tr.Append(p.hash)
+		hashed++
+	}
 	return nil
 }
 
@@ -88,6 +295,7 @@ func (tx *Tx) Delete(lt *LedgerTable, keyVals ...sqltypes.Value) error {
 		return err
 	}
 	tx.tree(lt).Append(serial.HashRow(lt.table.Schema(), ended, serial.OpDelete, nil))
+	tx.l.m.rowsHashed.Inc()
 	return nil
 }
 
@@ -115,7 +323,8 @@ func (tx *Tx) Update(lt *LedgerTable, visible sqltypes.Row) error {
 	}
 	tr := tx.tree(lt)
 	tr.Append(serial.HashRow(lt.table.Schema(), ended, serial.OpDelete, nil))
-	tr.Append(serial.HashRow(lt.table.Schema(), newFull, serial.OpInsert, lt.skipEndColumns))
+	tr.Append(serial.HashRow(lt.table.Schema(), newFull, serial.OpInsert, lt.skipEnd))
+	tx.l.m.rowsHashed.Add(2)
 	return nil
 }
 
@@ -140,7 +349,8 @@ func (tx *Tx) refreshRow(lt *LedgerTable, key []byte) error {
 	if _, err := tx.etx.UpdateByKey(lt.table, key, next); err != nil {
 		return err
 	}
-	tx.tree(lt).Append(serial.HashRow(lt.table.Schema(), next, serial.OpInsert, lt.skipEndColumns))
+	tx.tree(lt).Append(serial.HashRow(lt.table.Schema(), next, serial.OpInsert, lt.skipEnd))
+	tx.l.m.rowsHashed.Inc()
 	return nil
 }
 
@@ -177,37 +387,39 @@ func (tx *Tx) ScanPrefix(lt *LedgerTable, fn func(row sqltypes.Row) bool, vals .
 // transaction Merkle tree (§3.2.1).
 func (tx *Tx) Savepoint() int {
 	token := tx.etx.Savepoint()
-	snaps := make([]treeSnap, 0, len(tx.trees))
-	for tid, tr := range tx.trees {
+	st := tx.ensureState()
+	snaps := make([]treeSnap, 0, len(st.trees))
+	for tid, tr := range st.trees {
 		snaps = append(snaps, treeSnap{tableID: tid, snap: tr.Snapshot()})
 	}
-	if token != len(tx.spSnaps) {
+	if token != len(st.spSnaps) {
 		// Engine and core savepoint stacks must advance in lockstep.
-		panic(fmt.Sprintf("core: savepoint stacks diverged (%d != %d)", token, len(tx.spSnaps)))
+		panic(fmt.Sprintf("core: savepoint stacks diverged (%d != %d)", token, len(st.spSnaps)))
 	}
-	tx.spSnaps = append(tx.spSnaps, snaps)
+	st.spSnaps = append(st.spSnaps, snaps)
 	return token
 }
 
 // RollbackTo rolls the transaction back to a savepoint, restoring both
 // the engine write buffer and the Merkle tree state.
 func (tx *Tx) RollbackTo(token int) error {
-	if token < 0 || token >= len(tx.spSnaps) {
+	st := tx.state
+	if st == nil || token < 0 || token >= len(st.spSnaps) {
 		return fmt.Errorf("core: invalid savepoint %d", token)
 	}
 	if err := tx.etx.RollbackTo(token); err != nil {
 		return err
 	}
-	snaps := tx.spSnaps[token]
-	tx.spSnaps = tx.spSnaps[:token+1]
+	snaps := st.spSnaps[token]
+	st.spSnaps = st.spSnaps[:token+1]
 	restored := make(map[uint32]bool, len(snaps))
 	for _, s := range snaps {
-		if tr := tx.trees[s.tableID]; tr != nil {
+		if tr := st.trees[s.tableID]; tr != nil {
 			tr.Restore(s.snap)
 			restored[s.tableID] = true
 		}
 	}
-	for tid, tr := range tx.trees {
+	for tid, tr := range st.trees {
 		if !restored[tid] {
 			tr.Reset() // tree created after the savepoint
 		}
@@ -225,20 +437,32 @@ func (tx *Tx) Commit() error {
 
 // CommitTS is Commit returning the commit timestamp.
 func (tx *Tx) CommitTS() (int64, error) {
-	var roots []wal.TableRoot
-	for tid, tr := range tx.trees {
-		if tr.Count() > 0 {
-			roots = append(roots, wal.TableRoot{TableID: tid, Root: tr.Root()})
+	if st := tx.state; st != nil {
+		roots := st.roots[:0]
+		for tid, tr := range st.trees {
+			if tr.Count() > 0 {
+				roots = append(roots, wal.TableRoot{TableID: tid, Root: tr.Root()})
+			}
+		}
+		slices.SortFunc(roots, func(a, b wal.TableRoot) int { return cmp.Compare(a.TableID, b.TableID) })
+		st.roots = roots
+		if len(roots) > 0 {
+			tx.etx.Roots = roots
 		}
 	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i].TableID < roots[j].TableID })
-	tx.etx.Roots = roots
-	return tx.l.edb.Commit(tx.etx)
+	ts, err := tx.l.edb.Commit(tx.etx)
+	if err == nil {
+		// A failed commit leaves the engine transaction open; Rollback
+		// releases the state then.
+		tx.releaseState()
+	}
+	return ts, err
 }
 
 // Rollback abandons the transaction.
 func (tx *Tx) Rollback() error {
 	err := tx.etx.Rollback()
+	tx.releaseState()
 	if err == engine.ErrTxDone {
 		return nil
 	}

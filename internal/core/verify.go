@@ -384,7 +384,7 @@ func (l *LedgerDB) verifyTable(lt *LedgerTable, entries map[uint64]*wal.LedgerEn
 				t.ScanRange(kr.Start, kr.End, func(_ []byte, full sqltypes.Row) bool {
 					tx := uint64(full[lt.startTxOrd].Int())
 					seq := uint64(full[lt.startSeqOrd].Int())
-					h := serial.HashRow(s, full, serial.OpInsert, lt.skipEndColumns)
+					h := serial.HashRow(s, full, serial.OpInsert, lt.skipEnd)
 					res.byTx[tx] = append(res.byTx[tx], opLeaf{seq: seq, hash: h, historyInsert: history})
 					res.rows++
 					if history {

@@ -56,6 +56,12 @@ type Options struct {
 	// (WAL, commit pipeline, locks). nil creates a private enabled
 	// registry; pass obs.Disabled() to turn recording off.
 	Obs *obs.Registry
+	// Clock, if set, supplies commit timestamps (unix nanoseconds) in
+	// place of time.Now. A logical clock here makes every ledger
+	// artifact — entries, block hashes, digests — byte-for-byte
+	// reproducible across runs, which equivalence tests and benchmarks
+	// rely on. nil uses the wall clock.
+	Clock func() int64
 }
 
 // DB is an embedded relational database.
@@ -178,6 +184,25 @@ func (db *DB) Dir() string { return db.opts.Dir }
 // LogSize returns the current WAL size in bytes.
 func (db *DB) LogSize() int64 { return db.log.Size() }
 
+// rowEncSizeHint over-approximates sqltypes.EncodeRow's output size for
+// arena pre-sizing (strings and byte values plus fixed per-value space).
+func rowEncSizeHint(r sqltypes.Row) int {
+	n := 10
+	for _, v := range r {
+		n += 12 + len(v.Str) + len(v.Bytes)
+	}
+	return n
+}
+
+// nowNanos returns the current time from Options.Clock, or the wall
+// clock when none is configured.
+func (db *DB) nowNanos() int64 {
+	if db.opts.Clock != nil {
+		return db.opts.Clock()
+	}
+	return time.Now().UnixNano()
+}
+
 // LastCommitTS returns the commit timestamp (unix nanoseconds) of the most
 // recently committed transaction. It reads an atomic, so read-only commits
 // and digest generation never contend on the commit critical section.
@@ -275,13 +300,29 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 	db.quiesce.RLock()
 	defer db.quiesce.RUnlock()
 
-	// Build the WAL batch outside the critical section.
+	// Build the WAL batch outside the critical section. All DML payloads
+	// are encoded into one shared arena sized from a per-row hint; a
+	// record's payload slice stays valid even if a later append grows the
+	// arena, because the old backing array is left intact.
 	recs := make([]wal.Record, 0, len(tx.writes)+1)
+	size := 0
 	for _, w := range tx.writes {
+		if w.enc == nil {
+			size += len(w.key) + rowEncSizeHint(w.before) + rowEncSizeHint(w.after) + 10
+		}
+	}
+	arena := make([]byte, 0, size)
+	for _, w := range tx.writes {
+		payload := w.enc
+		if payload == nil {
+			start := len(arena)
+			arena = wal.AppendDML(arena, w.typ, wal.DMLPayload{TableID: w.tableID, Key: w.key, Before: w.before, After: w.after})
+			payload = arena[start:len(arena):len(arena)]
+		}
 		recs = append(recs, wal.Record{
 			Type:    w.typ,
 			TxID:    tx.id,
-			Payload: wal.EncodeDML(w.typ, wal.DMLPayload{TableID: w.tableID, Key: w.key, Before: w.before, After: w.after}),
+			Payload: payload,
 		})
 	}
 
@@ -291,7 +332,7 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 
 	// Stage 1 — sequence.
 	db.commitMu.Lock()
-	now := time.Now().UnixNano()
+	now := db.nowNanos()
 	if last := db.lastCommitTS.Load(); now <= last {
 		now = last + 1
 	}

@@ -29,7 +29,7 @@ type lockTable struct {
 
 type lockShard struct {
 	mu sync.Mutex
-	m  map[lockKey]*rowLock
+	m  map[lockKey]rowLock
 }
 
 type lockKey struct {
@@ -39,7 +39,8 @@ type lockKey struct {
 
 type rowLock struct {
 	owner uint64
-	// released is closed when the lock is freed, waking waiters.
+	// released is allocated by the first waiter and closed when the lock
+	// is freed; the uncontended path never creates a channel.
 	released chan struct{}
 }
 
@@ -49,7 +50,7 @@ func newLockTable(reg *obs.Registry) *lockTable {
 		timeouts:    reg.Counter(obs.LockTimeoutTotal),
 	}
 	for i := range lt.shards {
-		lt.shards[i].m = make(map[lockKey]*rowLock)
+		lt.shards[i].m = make(map[lockKey]rowLock)
 	}
 	return lt
 }
@@ -74,7 +75,7 @@ func (lt *lockTable) acquire(owner uint64, table uint32, key []byte, timeout tim
 		s.mu.Lock()
 		l, ok := s.m[k]
 		if !ok {
-			s.m[k] = &rowLock{owner: owner, released: make(chan struct{})}
+			s.m[k] = rowLock{owner: owner}
 			s.mu.Unlock()
 			if !waitStart.IsZero() {
 				lt.waitSeconds.ObserveSince(waitStart)
@@ -84,6 +85,10 @@ func (lt *lockTable) acquire(owner uint64, table uint32, key []byte, timeout tim
 		if l.owner == owner {
 			s.mu.Unlock()
 			return nil
+		}
+		if l.released == nil {
+			l.released = make(chan struct{})
+			s.m[k] = l
 		}
 		ch := l.released
 		s.mu.Unlock()
@@ -113,7 +118,9 @@ func (lt *lockTable) release(owner uint64, table uint32, key string) {
 	s.mu.Lock()
 	if l, ok := s.m[k]; ok && l.owner == owner {
 		delete(s.m, k)
-		close(l.released)
+		if l.released != nil {
+			close(l.released)
+		}
 	}
 	s.mu.Unlock()
 }

@@ -62,6 +62,12 @@ func (t *Table) keyFor(r sqltypes.Row) []byte {
 	return sqltypes.EncodeRowKey(t.meta.Schema, r)
 }
 
+// KeyFor computes the clustered key bytes Insert would assign to row. Not
+// valid for heap tables, whose keys are allocated at insert time. Batched
+// ingest uses it to encode keys on worker goroutines before handing rows
+// to Tx.InsertPrepared.
+func (t *Table) KeyFor(r sqltypes.Row) []byte { return t.keyFor(r) }
+
 // allocRID returns the next heap row identifier as key bytes.
 func (t *Table) allocRID() []byte {
 	t.mu.Lock()

@@ -59,6 +59,10 @@ type writeOp struct {
 	key     []byte
 	before  sqltypes.Row
 	after   sqltypes.Row
+	// enc, if non-nil, is the pre-encoded WAL payload for this op.
+	// Batched ingest encodes payloads on worker goroutines; Commit
+	// encodes the rest itself.
+	enc []byte
 }
 
 type overlay struct {
@@ -166,6 +170,47 @@ func (tx *Tx) Insert(t *Table, row sqltypes.Row) ([]byte, error) {
 	tx.writes = append(tx.writes, writeOp{typ: wal.RecInsert, tableID: t.meta.ID, key: key, after: row})
 	tx.overlayFor(t.meta.ID).m[string(key)] = overlayEntry{row: row}
 	return key, nil
+}
+
+// ReserveWrites pre-grows the transaction's write buffer, lock set and
+// the table's overlay for n upcoming writes, so a known-size batch
+// appends without incremental reallocation.
+func (tx *Tx) ReserveWrites(t *Table, n int) {
+	if need := len(tx.writes) + n; cap(tx.writes) < need {
+		ws := make([]writeOp, len(tx.writes), need)
+		copy(ws, tx.writes)
+		tx.writes = ws
+	}
+	if len(tx.locks) == 0 {
+		tx.locks = make(map[lockKey]struct{}, n)
+	}
+	if tx.overlays[t.meta.ID] == nil {
+		tx.overlays[t.meta.ID] = &overlay{m: make(map[string]overlayEntry, n)}
+	}
+}
+
+// InsertPrepared adds a pre-validated row under a pre-computed clustered
+// key. It is the batched-ingest half of Insert: callers (the ledger core's
+// InsertBatch) validate the row, compute key = t.KeyFor(row) and optionally
+// pre-encode the WAL payload (enc; nil lets Commit encode it) on worker
+// goroutines, then call InsertPrepared serially to preserve write order.
+// Not valid for heap tables.
+func (tx *Tx) InsertPrepared(t *Table, key []byte, row sqltypes.Row, enc []byte) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if t.meta.Heap {
+		return fmt.Errorf("engine: InsertPrepared on heap table %s", t.meta.Name)
+	}
+	if err := tx.lock(t, key); err != nil {
+		return err
+	}
+	if _, exists := tx.read(t, key); exists {
+		return fmt.Errorf("%w: table %s key %s", ErrDuplicateKey, t.meta.Name, t.meta.Schema.KeyOf(row))
+	}
+	tx.writes = append(tx.writes, writeOp{typ: wal.RecInsert, tableID: t.meta.ID, key: key, after: row, enc: enc})
+	tx.overlayFor(t.meta.ID).m[string(key)] = overlayEntry{row: row}
+	return nil
 }
 
 // DeleteByKey removes the row under raw clustered-key bytes, returning the

@@ -9,6 +9,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sync"
 )
 
 // Hash is a SHA-256 digest.
@@ -151,6 +152,21 @@ func (s *Streaming) Reset() {
 	s.levels = s.levels[:0]
 	s.has = s.has[:0]
 	s.count = 0
+}
+
+// streamingPool recycles Streaming trees and their O(log N) level slices
+// across transactions: every ledger transaction needs one tree per touched
+// table, and the ingest fast path must not pay an allocation for it.
+var streamingPool = sync.Pool{New: func() any { return new(Streaming) }}
+
+// GetStreaming returns an empty Streaming from the pool.
+func GetStreaming() *Streaming { return streamingPool.Get().(*Streaming) }
+
+// PutStreaming resets s and returns it to the pool. The caller must not
+// use s afterwards.
+func PutStreaming(s *Streaming) {
+	s.Reset()
+	streamingPool.Put(s)
 }
 
 // Accumulator is an order-independent multiset accumulator over leaf

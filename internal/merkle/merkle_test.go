@@ -348,3 +348,31 @@ func TestAccumulatorCarryPropagation(t *testing.T) {
 		t.Fatalf("last byte = %x, want fe", sum[len(sum)-1])
 	}
 }
+
+func TestStreamingPoolReuse(t *testing.T) {
+	s := GetStreaming()
+	if s.Count() != 0 || !s.Root().IsZero() {
+		t.Fatal("pooled Streaming not empty")
+	}
+	leaves := []Hash{HashLeaf([]byte("a")), HashLeaf([]byte("b")), HashLeaf([]byte("c"))}
+	for _, l := range leaves {
+		s.Append(l)
+	}
+	want := RootOf(leaves)
+	if s.Root() != want {
+		t.Fatal("pooled Streaming computes wrong root")
+	}
+	PutStreaming(s)
+	// A recycled tree must behave exactly like a fresh one.
+	s2 := GetStreaming()
+	if s2.Count() != 0 || !s2.Root().IsZero() {
+		t.Fatal("recycled Streaming not reset")
+	}
+	for _, l := range leaves {
+		s2.Append(l)
+	}
+	if s2.Root() != want {
+		t.Fatal("recycled Streaming computes wrong root")
+	}
+	PutStreaming(s2)
+}

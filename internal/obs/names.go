@@ -23,6 +23,12 @@ const (
 	LockTimeoutTotal    = "sqlledger_lock_timeout_total"
 
 	// Ledger core (internal/core)
+	// RowsHashedTotal counts row versions hashed on the DML ingest path
+	// (inserts, updates, deletes and batched ingest; verification's
+	// re-hashing is not counted). HashBatchSize observes the row count of
+	// each InsertBatch call.
+	RowsHashedTotal       = "sqlledger_rows_hashed_total"
+	HashBatchSize         = "sqlledger_hash_batch_size"
 	BlocksClosedTotal     = "sqlledger_blocks_closed_total"
 	BlockCloseSeconds     = "sqlledger_block_close_seconds"
 	LedgerQueueLength     = "sqlledger_ledger_queue_length"

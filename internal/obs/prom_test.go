@@ -32,6 +32,12 @@ func TestWritePrometheusGolden(t *testing.T) {
 	r.Gauge(HealthStatus).Set(1)
 	r.Gauge(VerifyProgressRatio).Set(0.5)
 	r.Counter(RuntimeGCTotal).Add(9)
+	// The PR-5 ingest fast-path names.
+	r.Counter(RowsHashedTotal).Add(3000)
+	hb := r.Histogram(HashBatchSize, []float64{1, 16, 64, 256, 1024, 4096})
+	hb.Observe(500)
+	hb.Observe(1000)
+	hb.Observe(1000)
 
 	var buf bytes.Buffer
 	if err := r.WritePrometheus(&buf); err != nil {

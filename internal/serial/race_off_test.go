@@ -1,0 +1,7 @@
+//go:build !race
+
+package serial
+
+// raceEnabled gates the AllocsPerRun regression tests: the race detector
+// instruments allocations and would trip them spuriously.
+const raceEnabled = false

@@ -52,26 +52,52 @@ func (o OpType) String() string {
 	return fmt.Sprintf("OP(%d)", byte(o))
 }
 
+// SkipMask marks column ordinals to exclude from serialization. The nil
+// mask excludes nothing. Masks are precomputed once per table (the ledger
+// core builds one for the end-transaction system columns) so the per-row
+// hot path tests a bit instead of calling through a closure.
+type SkipMask []uint64
+
+// NewSkipMask builds a mask excluding the given column ordinals.
+func NewSkipMask(ordinals ...int) SkipMask {
+	var m SkipMask
+	for _, ord := range ordinals {
+		w := ord >> 6
+		for len(m) <= w {
+			m = append(m, 0)
+		}
+		m[w] |= 1 << (uint(ord) & 63)
+	}
+	return m
+}
+
+// Has reports whether ordinal ord is excluded.
+func (m SkipMask) Has(ord int) bool {
+	w := ord >> 6
+	return w < len(m) && m[w]&(1<<(uint(ord)&63)) != 0
+}
+
 // SerializeRow appends the canonical serialization of row r under schema s
 // to dst. skip, if non-nil, excludes columns by ordinal: the ledger core
 // uses it to exclude the end-transaction system columns when computing a
 // version's insert-time hash (they were NULL when the version was
 // created). Columns whose value is NULL are always excluded.
-func SerializeRow(dst []byte, s *sqltypes.Schema, r sqltypes.Row, op OpType, skip func(ordinal int) bool) []byte {
+//
+// The encoding is produced in a single pass: a one-byte varint slot is
+// reserved for the participating-column count and patched after the column
+// loop. Counts of 128+ columns need a wider varint and shift the payload
+// right by the difference — rare, and byte-for-byte identical to the
+// original two-pass encoding (pinned by TestSerializeSinglePassCompat).
+func SerializeRow(dst []byte, s *sqltypes.Schema, r sqltypes.Row, op OpType, skip SkipMask) []byte {
 	dst = append(dst, Version, byte(op))
-	// Count the columns that participate.
+	countAt := len(dst)
+	dst = append(dst, 0) // varint slot for the column count, patched below
 	n := 0
 	for i, v := range r {
-		if v.Null || (skip != nil && skip(i)) {
+		if v.Null || skip.Has(i) {
 			continue
 		}
 		n++
-	}
-	dst = binary.AppendUvarint(dst, uint64(n))
-	for i, v := range r {
-		if v.Null || (skip != nil && skip(i)) {
-			continue
-		}
 		c := s.Columns[i]
 		dst = binary.AppendUvarint(dst, uint64(c.Ordinal))
 		dst = append(dst, byte(c.Type))
@@ -80,6 +106,19 @@ func SerializeRow(dst []byte, s *sqltypes.Schema, r sqltypes.Row, op OpType, ski
 		dst = binary.AppendUvarint(dst, uint64(c.Scale))
 		dst = appendValue(dst, v)
 	}
+	if n < 0x80 {
+		dst[countAt] = byte(n)
+		return dst
+	}
+	// Wide count: grow by the extra varint bytes and slide the payload.
+	var vbuf [binary.MaxVarintLen64]byte
+	vn := binary.PutUvarint(vbuf[:], uint64(n))
+	payloadEnd := len(dst)
+	for j := 1; j < vn; j++ {
+		dst = append(dst, 0)
+	}
+	copy(dst[countAt+vn:], dst[countAt+1:payloadEnd])
+	copy(dst[countAt:], vbuf[:vn])
 	return dst
 }
 
@@ -104,13 +143,14 @@ func appendValue(dst []byte, v sqltypes.Value) []byte {
 	}
 }
 
-// bufPool recycles serialization buffers: HashRow sits on the hot path of
-// every ledger DML operation.
+// bufPool recycles serialization buffers: HashRow and HashBytes sit on the
+// hot path of every ledger DML operation and block/entry hash.
 var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
 
 // HashRow is the LEDGERHASH analogue: it serializes the row and returns
-// its SHA-256 hash.
-func HashRow(s *sqltypes.Schema, r sqltypes.Row, op OpType, skip func(ordinal int) bool) merkle.Hash {
+// its SHA-256 hash. Steady-state it allocates nothing: the serialization
+// buffer is pooled and the skip mask is a precomputed bitmask.
+func HashRow(s *sqltypes.Schema, r sqltypes.Row, op OpType, skip SkipMask) merkle.Hash {
 	bp := bufPool.Get().(*[]byte)
 	buf := SerializeRow((*bp)[:0], s, r, op, skip)
 	h := merkle.HashLeaf(buf)
@@ -121,11 +161,25 @@ func HashRow(s *sqltypes.Schema, r sqltypes.Row, op OpType, skip func(ordinal in
 
 // HashBytes hashes an arbitrary canonical byte string (used for block
 // headers and transaction entries, which have their own fixed layouts).
+// The length-prefixed concatenation is built in a pooled buffer pre-sized
+// from the summed part lengths, so no per-call allocation survives warmup.
 func HashBytes(parts ...[]byte) merkle.Hash {
-	var buf []byte
+	total := 0
+	for _, p := range parts {
+		total += len(p) + binary.MaxVarintLen64
+	}
+	bp := bufPool.Get().(*[]byte)
+	buf := *bp
+	if cap(buf) < total {
+		buf = make([]byte, 0, total)
+	}
+	buf = buf[:0]
 	for _, p := range parts {
 		buf = binary.AppendUvarint(buf, uint64(len(p)))
 		buf = append(buf, p...)
 	}
-	return merkle.HashLeaf(buf)
+	h := merkle.HashLeaf(buf)
+	*bp = buf
+	bufPool.Put(bp)
+	return h
 }

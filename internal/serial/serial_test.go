@@ -2,6 +2,8 @@ package serial
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
 	"testing"
 
 	"sqlledger/internal/sqltypes"
@@ -90,21 +92,147 @@ func TestOpTypeDomainSeparation(t *testing.T) {
 	}
 }
 
-func TestSkipFunc(t *testing.T) {
+func TestSkipMask(t *testing.T) {
 	s := sqltypes.MustSchema([]sqltypes.Column{
 		sqltypes.Col("a", sqltypes.TypeInt),
 		sqltypes.NullableCol("end_tx", sqltypes.TypeBigInt),
 	})
 	withEnd := sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewBigInt(99)}
 	withoutEnd := sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewNull(sqltypes.TypeBigInt)}
-	skip := func(ord int) bool { return ord == 1 }
+	skip := NewSkipMask(1)
 	// Hash of the populated row with column 1 skipped must equal the hash
 	// of the row where it was NULL — the history-table recomputation case.
 	if HashRow(s, withEnd, OpInsert, skip) != HashRow(s, withoutEnd, OpInsert, nil) {
-		t.Fatal("skip func does not reproduce the pre-delete hash")
+		t.Fatal("skip mask does not reproduce the pre-delete hash")
 	}
 	if HashRow(s, withEnd, OpInsert, nil) == HashRow(s, withoutEnd, OpInsert, nil) {
 		t.Fatal("end column should affect the unskipped hash")
+	}
+}
+
+func TestSkipMaskBits(t *testing.T) {
+	m := NewSkipMask(0, 63, 64, 130)
+	for _, ord := range []int{0, 63, 64, 130} {
+		if !m.Has(ord) {
+			t.Fatalf("ordinal %d should be set", ord)
+		}
+	}
+	for _, ord := range []int{1, 62, 65, 129, 131, 1000} {
+		if m.Has(ord) {
+			t.Fatalf("ordinal %d should not be set", ord)
+		}
+	}
+	var none SkipMask
+	if none.Has(0) || none.Has(64) {
+		t.Fatal("nil mask must exclude nothing")
+	}
+}
+
+// referenceSerializeRow is the original two-pass encoding (count columns,
+// then serialize). The single-pass encoder must stay byte-for-byte
+// compatible with it: existing digests and receipts depend on these bytes.
+func referenceSerializeRow(dst []byte, s *sqltypes.Schema, r sqltypes.Row, op OpType, skip SkipMask) []byte {
+	dst = append(dst, Version, byte(op))
+	n := 0
+	for i, v := range r {
+		if v.Null || skip.Has(i) {
+			continue
+		}
+		n++
+	}
+	dst = binary.AppendUvarint(dst, uint64(n))
+	for i, v := range r {
+		if v.Null || skip.Has(i) {
+			continue
+		}
+		c := s.Columns[i]
+		dst = binary.AppendUvarint(dst, uint64(c.Ordinal))
+		dst = append(dst, byte(c.Type))
+		dst = binary.AppendUvarint(dst, uint64(c.Len))
+		dst = binary.AppendUvarint(dst, uint64(c.Prec))
+		dst = binary.AppendUvarint(dst, uint64(c.Scale))
+		dst = appendValue(dst, v)
+	}
+	return dst
+}
+
+func TestSerializeSinglePassCompat(t *testing.T) {
+	// Wide schema so the participating-column count crosses the one-byte
+	// varint boundary (128+) and exercises the payload slide.
+	for _, ncols := range []int{0, 1, 2, 5, 127, 128, 129, 200, 300} {
+		cols := make([]sqltypes.Column, ncols)
+		row := make(sqltypes.Row, ncols)
+		for i := range cols {
+			switch i % 3 {
+			case 0:
+				cols[i] = sqltypes.NullableCol(fmt.Sprintf("c%d", i), sqltypes.TypeBigInt)
+				row[i] = sqltypes.NewBigInt(int64(i * 17))
+			case 1:
+				cols[i] = sqltypes.NullableCol(fmt.Sprintf("c%d", i), sqltypes.TypeVarChar)
+				row[i] = sqltypes.NewVarChar(fmt.Sprintf("value-%d", i))
+			default:
+				cols[i] = sqltypes.NullableCol(fmt.Sprintf("c%d", i), sqltypes.TypeFloat)
+				row[i] = sqltypes.NewFloat(float64(i) * 1.5)
+			}
+			if i%7 == 3 {
+				row[i] = sqltypes.NewNull(cols[i].Type)
+			}
+		}
+		s := sqltypes.MustSchema(cols)
+		for _, skip := range []SkipMask{nil, NewSkipMask(0), NewSkipMask(1, 64, 129)} {
+			got := SerializeRow(nil, s, row, OpInsert, skip)
+			want := referenceSerializeRow(nil, s, row, OpInsert, skip)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("ncols=%d skip=%v: single-pass encoding diverged\n got %x\nwant %x", ncols, skip, got, want)
+			}
+			// Appending onto a non-empty dst must also match.
+			prefix := []byte{0xde, 0xad}
+			got = SerializeRow(prefix, s, row, OpDelete, skip)
+			want = referenceSerializeRow(prefix, s, row, OpDelete, skip)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("ncols=%d skip=%v: single-pass encoding diverged with prefix", ncols, skip)
+			}
+		}
+	}
+}
+
+// The allocation gates below pin the zero-allocation ingest path
+// (ISSUE 5): HashRow and HashBytes must not allocate once the buffer pool
+// is warm. The race detector instruments allocations, so the gates only
+// run race-free (see race_off_test.go / race_on_test.go).
+func TestHashRowAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	s := sqltypes.MustSchema([]sqltypes.Column{
+		sqltypes.Col("id", sqltypes.TypeBigInt),
+		sqltypes.Col("payload", sqltypes.TypeVarChar),
+		sqltypes.NullableCol("end_tx", sqltypes.TypeBigInt),
+	})
+	r := sqltypes.Row{
+		sqltypes.NewBigInt(42),
+		sqltypes.NewVarChar("some moderately sized payload string"),
+		sqltypes.NewBigInt(7),
+	}
+	skip := NewSkipMask(2)
+	HashRow(s, r, OpInsert, skip) // warm the pool
+	if n := testing.AllocsPerRun(100, func() {
+		HashRow(s, r, OpInsert, skip)
+	}); n > 1 {
+		t.Fatalf("HashRow allocates %.1f times per call, want <= 1", n)
+	}
+}
+
+func TestHashBytesAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	a, b, c := []byte("block-header"), make([]byte, 32), make([]byte, 64)
+	HashBytes(a, b, c) // warm the pool
+	if n := testing.AllocsPerRun(100, func() {
+		HashBytes(a, b, c)
+	}); n > 1 {
+		t.Fatalf("HashBytes allocates %.1f times per call, want <= 1", n)
 	}
 }
 

@@ -140,7 +140,14 @@ type DMLPayload struct {
 
 // EncodeDML serializes a DML payload for the given record type.
 func EncodeDML(t RecordType, p DMLPayload) []byte {
-	dst := binary.AppendUvarint(nil, uint64(p.TableID))
+	return AppendDML(nil, t, p)
+}
+
+// AppendDML appends the serialized DML payload to dst. Commit encodes a
+// transaction's payloads into one shared arena, so a bulk transaction
+// costs one buffer instead of one per record.
+func AppendDML(dst []byte, t RecordType, p DMLPayload) []byte {
+	dst = binary.AppendUvarint(dst, uint64(p.TableID))
 	dst = binary.AppendUvarint(dst, uint64(len(p.Key)))
 	dst = append(dst, p.Key...)
 	switch t {

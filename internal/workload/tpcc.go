@@ -139,19 +139,35 @@ func (t *TPCC) load() error {
 		s = t.Begin("loader")
 		return nil
 	}
+	// Seed rows are ingested in chunks through InsertBatch: one batch per
+	// transaction, so in ledger mode row hashing fans out across cores
+	// while the Merkle append order stays serial.
+	const chunk = 500
+	batch := make([]sqlledger.Row, 0, chunk)
+	flushBatch := func(tb *Table) error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := s.InsertBatch(tb, batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return flush()
+	}
 	for i := 1; i <= tpccItems; i++ {
-		if err := s.Insert(t.item, sqlledger.Row{
+		batch = append(batch, sqlledger.Row{
 			sqlledger.BigInt(int64(i)),
 			sqlledger.NVarChar(fmt.Sprintf("item-%d-%s", i, filler(rng, 12))),
 			sqlledger.BigInt(int64(uniform(rng, 100, 10000))),
-		}); err != nil {
-			return err
-		}
-		if i%500 == 0 {
-			if err := flush(); err != nil {
+		})
+		if len(batch) == chunk {
+			if err := flushBatch(t.item); err != nil {
 				return err
 			}
 		}
+	}
+	if err := flushBatch(t.item); err != nil {
+		return err
 	}
 	hID := int64(0)
 	for w := 1; w <= t.Warehouses; w++ {
@@ -163,18 +179,19 @@ func (t *TPCC) load() error {
 			return err
 		}
 		for i := 1; i <= tpccItems; i++ {
-			if err := s.Insert(t.stock, sqlledger.Row{
+			batch = append(batch, sqlledger.Row{
 				sqlledger.BigInt(int64(w)), sqlledger.BigInt(int64(i)),
 				sqlledger.BigInt(int64(uniform(rng, 10, 100))),
 				sqlledger.BigInt(0), sqlledger.BigInt(0),
-			}); err != nil {
-				return err
-			}
-			if i%500 == 0 {
-				if err := flush(); err != nil {
+			})
+			if len(batch) == chunk {
+				if err := flushBatch(t.stock); err != nil {
 					return err
 				}
 			}
+		}
+		if err := flushBatch(t.stock); err != nil {
+			return err
 		}
 		for d := 1; d <= tpccDistrictsPerWarehouse; d++ {
 			if err := s.Insert(t.district, sqlledger.Row{
@@ -186,33 +203,29 @@ func (t *TPCC) load() error {
 				return err
 			}
 			for c := 1; c <= tpccCustomersPerDistrict; c++ {
-				if err := s.Insert(t.customer, sqlledger.Row{
+				batch = append(batch, sqlledger.Row{
 					sqlledger.BigInt(int64(w)), sqlledger.BigInt(int64(d)), sqlledger.BigInt(int64(c)),
 					sqlledger.NVarChar(fmt.Sprintf("customer-%d-%d-%d", w, d, c)),
 					sqlledger.BigInt(-1000), sqlledger.BigInt(1000), sqlledger.BigInt(1),
 					sqlledger.NVarChar(filler(rng, 100)),
-				}); err != nil {
-					return err
-				}
+				})
 			}
-			if err := flush(); err != nil {
+			if err := flushBatch(t.customer); err != nil {
 				return err
 			}
 			// Seed a few historical payments so deliveries have targets.
 			for k := 0; k < 3; k++ {
 				hID++
-				if err := s.Insert(t.history, sqlledger.Row{
+				batch = append(batch, sqlledger.Row{
 					sqlledger.BigInt(hID),
 					sqlledger.BigInt(int64(w)), sqlledger.BigInt(int64(d)),
 					sqlledger.BigInt(int64(uniform(rng, 1, tpccCustomersPerDistrict))),
 					sqlledger.BigInt(int64(uniform(rng, 100, 5000))),
 					sqlledger.DateTime(now),
 					sqlledger.NVarChar(filler(rng, 24)),
-				}); err != nil {
-					return err
-				}
+				})
 			}
-			if err := flush(); err != nil {
+			if err := flushBatch(t.history); err != nil {
 				return err
 			}
 		}

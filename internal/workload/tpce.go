@@ -156,27 +156,43 @@ func (t *TPCE) load() error {
 		s = t.Begin("loader")
 		return nil
 	}
+	// Customers and accounts are seeded pairwise; each flush pushes the
+	// accumulated rows through InsertBatch so ledger mode hashes them on
+	// the worker pool.
+	var custBatch, acctBatch []sqlledger.Row
+	flushCustomers := func() error {
+		if len(custBatch) == 0 {
+			return nil
+		}
+		if err := s.InsertBatch(t.customer, custBatch); err != nil {
+			return err
+		}
+		if err := s.InsertBatch(t.customerAcct, acctBatch); err != nil {
+			return err
+		}
+		custBatch, acctBatch = custBatch[:0], acctBatch[:0]
+		return flush()
+	}
 	for i := 1; i <= t.Customers; i++ {
-		if err := s.Insert(t.customer, sqlledger.Row{
+		custBatch = append(custBatch, sqlledger.Row{
 			sqlledger.BigInt(int64(i)),
 			sqlledger.NVarChar(fmt.Sprintf("customer-%d", i)),
 			sqlledger.BigInt(int64(uniform(rng, 1, 3))),
-		}); err != nil {
-			return err
-		}
-		if err := s.Insert(t.customerAcct, sqlledger.Row{
+		})
+		acctBatch = append(acctBatch, sqlledger.Row{
 			sqlledger.BigInt(int64(i)),
 			sqlledger.BigInt(int64(i)),
 			sqlledger.BigInt(1_000_000),
 			sqlledger.NVarChar(fmt.Sprintf("account-%d %s", i, filler(rng, 20))),
-		}); err != nil {
-			return err
-		}
+		})
 		if i%200 == 0 {
-			if err := flush(); err != nil {
+			if err := flushCustomers(); err != nil {
 				return err
 			}
 		}
+	}
+	if err := flushCustomers(); err != nil {
+		return err
 	}
 	for i := 1; i <= 10; i++ {
 		if err := s.Insert(t.broker, sqlledger.Row{
@@ -187,22 +203,26 @@ func (t *TPCE) load() error {
 			return err
 		}
 	}
+	secBatch := make([]sqlledger.Row, 0, t.Securities)
+	tradeBatch := make([]sqlledger.Row, 0, t.Securities)
 	for i := 1; i <= t.Securities; i++ {
-		if err := s.Insert(t.security, sqlledger.Row{
+		secBatch = append(secBatch, sqlledger.Row{
 			sqlledger.NVarChar(symb(i)),
 			sqlledger.NVarChar(fmt.Sprintf("security-%d %s", i, filler(rng, 16))),
 			sqlledger.NVarChar("NYSE"),
-		}); err != nil {
-			return err
-		}
-		if err := s.Insert(t.lastTrade, sqlledger.Row{
+		})
+		tradeBatch = append(tradeBatch, sqlledger.Row{
 			sqlledger.NVarChar(symb(i)),
 			sqlledger.BigInt(int64(uniform(rng, 1000, 100000))),
 			sqlledger.BigInt(0),
 			sqlledger.DateTime(now),
-		}); err != nil {
-			return err
-		}
+		})
+	}
+	if err := s.InsertBatch(t.security, secBatch); err != nil {
+		return err
+	}
+	if err := s.InsertBatch(t.lastTrade, tradeBatch); err != nil {
+		return err
 	}
 	if err := flush(); err != nil {
 		return err
@@ -212,13 +232,15 @@ func (t *TPCE) load() error {
 		if err != nil {
 			return err
 		}
+		refBatch := make([]sqlledger.Row, 0, 20)
 		for i := 1; i <= 20; i++ {
-			if err := s.Insert(tab, sqlledger.Row{
+			refBatch = append(refBatch, sqlledger.Row{
 				sqlledger.BigInt(int64(i)),
 				sqlledger.NVarChar(filler(rng, 40)),
-			}); err != nil {
-				return err
-			}
+			})
+		}
+		if err := s.InsertBatch(tab, refBatch); err != nil {
+			return err
 		}
 		if err := flush(); err != nil {
 			return err

@@ -46,6 +46,21 @@ func (s *Session) Insert(t *Table, row sqlledger.Row) error {
 	return err
 }
 
+// InsertBatch adds many rows at once. In ledger mode this takes the
+// bulk-DML fast path (parallel row hashing with order-preserving Merkle
+// appends); regular tables fall back to a plain insert loop.
+func (s *Session) InsertBatch(t *Table, rows []sqlledger.Row) error {
+	if t.lt != nil {
+		return s.tx.InsertBatch(t.lt, rows)
+	}
+	for _, row := range rows {
+		if _, err := s.tx.Raw().Insert(t.et, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Update replaces the row whose primary key matches row.
 func (s *Session) Update(t *Table, row sqlledger.Row) error {
 	if t.lt != nil {

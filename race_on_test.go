@@ -1,0 +1,7 @@
+//go:build race
+
+package sqlledger_test
+
+// raceEnabled reports whether the race detector is active; wall-clock
+// and allocation gates are skipped under -race.
+const raceEnabled = true
