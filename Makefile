@@ -77,5 +77,23 @@ bench-ingest:
 	go test -run 'Alloc' ./internal/serial/ ./internal/core/
 	go test -run - -bench 'Ingest' -benchmem .
 
+# Read-scaling gate + benchmark: MVCC snapshot readers at 1/2/4/8 clients
+# with 2 update writers always active. Race-free on purpose — the gate
+# measures wall-clock ratios, which the race detector distorts.
+.PHONY: bench-read
+bench-read:
+	go test -run 'ReadScaling' -v .
+	go test -run - -bench 'ReadConcurrent' -benchtime 200x .
+
+# Race-enabled MVCC read-path audit: snapshot readers, writers and the
+# version GC racing over shared version chains, the lock-table
+# timeout-vs-release window, and the read-receipt build running against
+# live commits.
+.PHONY: test-race-read
+test-race-read:
+	go test -race ./internal/engine/ -run 'Snapshot|VersionGC|LockTimeoutReleaseRace'
+	go test -race ./internal/core/ -run 'ReadReceipt'
+	go test -race . -run 'ReadScaling'
+
 .PHONY: check
-check: fmt-check vet test test-race-verify test-race-commit test-race-obs test-race-health
+check: fmt-check vet test test-race-verify test-race-commit test-race-obs test-race-health test-race-read

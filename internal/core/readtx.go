@@ -1,0 +1,133 @@
+package core
+
+import (
+	"crypto/ed25519"
+
+	"sqlledger/internal/engine"
+	"sqlledger/internal/sqltypes"
+)
+
+// ReadTx is a ledger-aware snapshot read transaction. It wraps the
+// engine's MVCC read path (engine.ReadTx): reads are served from the
+// newest row version at or below the pinned snapshot timestamp and never
+// touch the lock table, so readers scale with client count while writers
+// run 2PL + group commit undisturbed.
+//
+// Every row returned from a ledger table is accumulated into a read set;
+// at close the read set can be turned into a ReadReceipt — an offline-
+// verifiable proof that each returned row is committed ledger content
+// (readreceipt.go, §5.1 extended to query results).
+//
+// ReadTx is not safe for concurrent use by multiple goroutines.
+type ReadTx struct {
+	l    *LedgerDB
+	rtx  *engine.ReadTx
+	done bool
+
+	// reads is the accumulated read set: one cloned full storage row per
+	// distinct row version returned to the caller.
+	reads []readRecord
+	seen  map[readVersionKey]struct{}
+}
+
+// readRecord is one read-set entry: the ledger table and the full storage
+// row (hidden columns included) as returned by the snapshot.
+type readRecord struct {
+	lt   *LedgerTable
+	full sqltypes.Row
+}
+
+// readVersionKey identifies a row version for read-set deduplication: the
+// creating (transaction, sequence) pair is unique per version.
+type readVersionKey struct {
+	tableID uint32
+	txID    uint64
+	seq     uint32
+}
+
+// BeginReadOnly starts a snapshot read transaction pinned at the current
+// last commit timestamp.
+func (l *LedgerDB) BeginReadOnly() *ReadTx {
+	return &ReadTx{l: l, rtx: l.edb.BeginReadOnly(), seen: make(map[readVersionKey]struct{})}
+}
+
+// SnapshotTS returns the pinned snapshot timestamp (unix nanoseconds).
+func (rt *ReadTx) SnapshotTS() int64 { return rt.rtx.TS() }
+
+// Raw exposes the underlying engine read transaction for snapshot reads
+// on regular (non-ledger) tables; those reads carry no receipt coverage.
+func (rt *ReadTx) Raw() *engine.ReadTx { return rt.rtx }
+
+// record adds a returned row version to the read set (deduplicated).
+func (rt *ReadTx) record(lt *LedgerTable, full sqltypes.Row) {
+	k := readVersionKey{
+		tableID: lt.ID(),
+		txID:    uint64(full[lt.startTxOrd].Int()),
+		seq:     uint32(full[lt.startSeqOrd].Int()),
+	}
+	if _, dup := rt.seen[k]; dup {
+		return
+	}
+	rt.seen[k] = struct{}{}
+	rt.reads = append(rt.reads, readRecord{lt: lt, full: full.Clone()})
+}
+
+// Get returns the visible row with the given primary-key values as of the
+// snapshot.
+func (rt *ReadTx) Get(lt *LedgerTable, keyVals ...sqltypes.Value) (sqltypes.Row, bool, error) {
+	full, ok, err := rt.rtx.Get(lt.table, keyVals...)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	rt.record(lt, full)
+	return lt.VisibleRow(full), true, nil
+}
+
+// Scan iterates the visible rows of a ledger table as of the snapshot, in
+// primary-key order. Rows passed to fn may alias storage and are only
+// valid during the callback: Clone before mutating or retaining them.
+func (rt *ReadTx) Scan(lt *LedgerTable, fn func(row sqltypes.Row) bool) error {
+	return rt.scanRange(lt, nil, nil, fn)
+}
+
+// ScanPrefix iterates the visible rows whose leading primary-key columns
+// equal vals as of the snapshot. The callback contract is as for Scan.
+func (rt *ReadTx) ScanPrefix(lt *LedgerTable, fn func(row sqltypes.Row) bool, vals ...sqltypes.Value) error {
+	start, end := engine.PrefixRange(vals...)
+	return rt.scanRange(lt, start, end, fn)
+}
+
+func (rt *ReadTx) scanRange(lt *LedgerTable, start, end []byte, fn func(row sqltypes.Row) bool) error {
+	project := lt.visibleProjector()
+	return rt.rtx.ScanRange(lt.table, start, end, func(_ []byte, full sqltypes.Row) bool {
+		rt.record(lt, full)
+		return fn(project(full))
+	})
+}
+
+// ReadSetSize returns the number of distinct row versions accumulated.
+func (rt *ReadTx) ReadSetSize() int { return len(rt.reads) }
+
+// Close unpins the snapshot without producing a receipt. Idempotent.
+func (rt *ReadTx) Close() {
+	if rt.done {
+		return
+	}
+	rt.done = true
+	rt.rtx.Close()
+	rt.reads = nil
+	rt.seen = nil
+}
+
+// CloseWithReceipt turns the read set into an offline-verifiable
+// ReadReceipt signed with priv, then closes the transaction. The snapshot
+// stays pinned while the receipt is assembled, so version GC cannot
+// reclaim the proven versions mid-build.
+func (rt *ReadTx) CloseWithReceipt(priv ed25519.PrivateKey) (ReadReceipt, error) {
+	if rt.done {
+		return ReadReceipt{}, engine.ErrTxDone
+	}
+	r, err := rt.l.buildReadReceipt(rt.reads, rt.rtx.TS(), priv)
+	rt.Close()
+	return r, err
+}

@@ -77,27 +77,66 @@ func signedMessage(dbName string, blockID uint64, root merkle.Hash) []byte {
 	return h[:]
 }
 
+// entryOfTx returns txID's ledger entry, from the system table if the
+// entry was persisted or from the in-memory queue otherwise.
+func (l *LedgerDB) entryOfTx(txID uint64) (*wal.LedgerEntry, error) {
+	key := sqltypes.EncodeKey(nil, sqltypes.NewBigInt(int64(txID)))
+	if row, ok := l.sysTx.Lookup(key); ok {
+		return rowToEntry(row), nil
+	}
+	var e *wal.LedgerEntry
+	l.lmu.Lock()
+	for _, q := range l.queue {
+		if q.TxID == txID {
+			e = q.Clone()
+			break
+		}
+	}
+	l.lmu.Unlock()
+	if e == nil {
+		return nil, fmt.Errorf("core: transaction %d is not in the ledger", txID)
+	}
+	return e, nil
+}
+
+// toReceiptEntry converts a ledger entry to its receipt form.
+func toReceiptEntry(e *wal.LedgerEntry) ReceiptEntry {
+	roots := make([]ReceiptTableRoot, len(e.Roots))
+	for i, tr := range e.Roots {
+		roots[i] = ReceiptTableRoot{TableID: tr.TableID, Root: tr.Root.String()}
+	}
+	return ReceiptEntry{TxID: e.TxID, Ordinal: e.Ordinal, CommitTS: e.CommitTS, User: e.User, Roots: roots}
+}
+
+// encodeProof converts a Merkle proof to its receipt form.
+func encodeProof(p merkle.Proof) ReceiptProof {
+	sibs := make([]string, len(p.Siblings))
+	for i, s := range p.Siblings {
+		sibs[i] = s.String()
+	}
+	return ReceiptProof{Index: p.Index, LeafCount: p.LeafCount, Siblings: sibs}
+}
+
+// decodeProof parses a receipt proof back to a Merkle proof.
+func decodeProof(p ReceiptProof) (merkle.Proof, error) {
+	sibs := make([]merkle.Hash, len(p.Siblings))
+	for i, s := range p.Siblings {
+		h, err := merkle.ParseHash(s)
+		if err != nil {
+			return merkle.Proof{}, err
+		}
+		sibs[i] = h
+	}
+	return merkle.Proof{Index: p.Index, LeafCount: p.LeafCount, Siblings: sibs}, nil
+}
+
 // GenerateReceipt produces a receipt for txID, signing the block root with
 // priv. The transaction's block must already be closed (generate a digest
 // first to force-close the current block).
 func (l *LedgerDB) GenerateReceipt(txID uint64, priv ed25519.PrivateKey) (Receipt, error) {
-	key := sqltypes.EncodeKey(nil, sqltypes.NewBigInt(int64(txID)))
-	row, ok := l.sysTx.Lookup(key)
-	var e *wal.LedgerEntry
-	if ok {
-		e = rowToEntry(row)
-	} else {
-		l.lmu.Lock()
-		for _, q := range l.queue {
-			if q.TxID == txID {
-				e = q.Clone()
-				break
-			}
-		}
-		l.lmu.Unlock()
-	}
-	if e == nil {
-		return Receipt{}, fmt.Errorf("core: transaction %d is not in the ledger", txID)
+	e, err := l.entryOfTx(txID)
+	if err != nil {
+		return Receipt{}, err
 	}
 	l.closeMu.Lock()
 	closed := l.closedThrough
@@ -115,24 +154,14 @@ func (l *LedgerDB) GenerateReceipt(txID uint64, priv ed25519.PrivateKey) (Receip
 		return Receipt{}, err
 	}
 	root := merkle.RootOf(leaves)
-	sibs := make([]string, len(proof.Siblings))
-	for i, s := range proof.Siblings {
-		sibs[i] = s.String()
-	}
-	roots := make([]ReceiptTableRoot, len(e.Roots))
-	for i, tr := range e.Roots {
-		roots[i] = ReceiptTableRoot{TableID: tr.TableID, Root: tr.Root.String()}
-	}
 	return Receipt{
 		DatabaseName: l.opts.Name,
-		Entry: ReceiptEntry{
-			TxID: e.TxID, Ordinal: e.Ordinal, CommitTS: e.CommitTS, User: e.User, Roots: roots,
-		},
-		BlockID:   e.BlockID,
-		BlockRoot: root.String(),
-		Proof:     ReceiptProof{Index: proof.Index, LeafCount: proof.LeafCount, Siblings: sibs},
-		Signature: ed25519.Sign(priv, signedMessage(l.opts.Name, e.BlockID, root)),
-		PublicKey: append(ed25519.PublicKey(nil), priv.Public().(ed25519.PublicKey)...),
+		Entry:        toReceiptEntry(e),
+		BlockID:      e.BlockID,
+		BlockRoot:    root.String(),
+		Proof:        encodeProof(proof),
+		Signature:    ed25519.Sign(priv, signedMessage(l.opts.Name, e.BlockID, root)),
+		PublicKey:    append(ed25519.PublicKey(nil), priv.Public().(ed25519.PublicKey)...),
 	}, nil
 }
 
@@ -159,15 +188,10 @@ func VerifyReceipt(r Receipt, pub ed25519.PublicKey) error {
 		TxID: r.Entry.TxID, BlockID: r.BlockID, Ordinal: r.Entry.Ordinal,
 		CommitTS: r.Entry.CommitTS, User: r.Entry.User, Roots: roots,
 	})
-	sibs := make([]merkle.Hash, len(r.Proof.Siblings))
-	for i, s := range r.Proof.Siblings {
-		h, err := merkle.ParseHash(s)
-		if err != nil {
-			return err
-		}
-		sibs[i] = h
+	proof, err := decodeProof(r.Proof)
+	if err != nil {
+		return err
 	}
-	proof := merkle.Proof{Index: r.Proof.Index, LeafCount: r.Proof.LeafCount, Siblings: sibs}
 	if !proof.Verify(root, leaf) {
 		return fmt.Errorf("core: receipt Merkle proof does not verify")
 	}

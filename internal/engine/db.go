@@ -88,6 +88,16 @@ type DB struct {
 	// quiesce: commits and DDL hold RLock; checkpoint/restore hold Lock.
 	quiesce sync.RWMutex
 
+	// snapMu guards the active-snapshot registry used by read-only
+	// transactions (readtx.go) and version GC.
+	snapMu     sync.Mutex
+	snaps      map[uint64]int64 // read-tx id -> pinned snapshot TS
+	nextSnapID uint64
+
+	gcStop     chan struct{}
+	gcDone     chan struct{}
+	gcStopOnce sync.Once
+
 	checkpointLSN int64
 	closed        bool
 
@@ -103,6 +113,10 @@ type dbMetrics struct {
 	stagePublish  *obs.Histogram
 	stageWait     *obs.Histogram
 	stageApply    *obs.Histogram
+	snapshotReads *obs.Counter
+	versionsLive  *obs.Gauge
+	gcReclaimed   *obs.Counter
+	snapshotLag   *obs.Histogram
 }
 
 func bindDBMetrics(reg *obs.Registry) dbMetrics {
@@ -113,6 +127,10 @@ func bindDBMetrics(reg *obs.Registry) dbMetrics {
 		stagePublish:  reg.Histogram(obs.CommitStageSeconds, nil, obs.L("stage", "publish")),
 		stageWait:     reg.Histogram(obs.CommitStageSeconds, nil, obs.L("stage", "wait")),
 		stageApply:    reg.Histogram(obs.CommitStageSeconds, nil, obs.L("stage", "apply")),
+		snapshotReads: reg.Counter(obs.SnapshotReadsTotal),
+		versionsLive:  reg.Gauge(obs.VersionsLive),
+		gcReclaimed:   reg.Counter(obs.VersionGCReclaimedTotal),
+		snapshotLag:   reg.Histogram(obs.ReadSnapshotLagSeconds, nil),
 	}
 }
 
@@ -148,6 +166,9 @@ func Open(opts Options) (*DB, error) {
 		tables: make(map[uint32]*Table),
 		log:    log,
 		locks:  newLockTable(opts.Obs),
+		snaps:  make(map[uint64]int64),
+		gcStop: make(chan struct{}),
+		gcDone: make(chan struct{}),
 		obs:    opts.Obs,
 		m:      bindDBMetrics(opts.Obs),
 	}
@@ -158,12 +179,16 @@ func Open(opts Options) (*DB, error) {
 	if !opts.GroupCommit.Disabled {
 		db.committer = wal.NewGroupCommitter(log, opts.GroupCommit)
 	}
+	go db.versionGCLoop()
 	return db, nil
 }
 
 // Close flushes and closes the database. In-flight transactions must be
 // finished first.
 func (db *DB) Close() error {
+	// Stop the version-GC sweeper before quiescing: its sweeps take
+	// quiesce.RLock, so stopping it afterwards would deadlock.
+	db.stopVersionGC()
 	db.quiesce.Lock()
 	defer db.quiesce.Unlock()
 	if db.closed {
@@ -384,8 +409,10 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 	}
 
 	// Stage 4 — apply to shared storage while still holding row locks, so
-	// conflicting transactions observe this one fully.
-	db.applyWrites(tx.writes)
+	// conflicting transactions observe this one fully. Each write appends
+	// a version stamped with the commit timestamp; snapshot readers pinned
+	// earlier keep seeing the previous versions.
+	db.applyWrites(tx.writes, now)
 	tx.done = true
 	tx.releaseLocks()
 	lap.Lap(db.m.stageApply)
@@ -393,9 +420,10 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 	return now, nil
 }
 
-// applyWrites installs a committed write set into the tables, grouping
-// consecutive ops per table to amortize locking.
-func (db *DB) applyWrites(writes []writeOp) {
+// applyWrites installs a committed write set into the tables as versions
+// stamped with commitTS, grouping consecutive ops per table to amortize
+// locking.
+func (db *DB) applyWrites(writes []writeOp, commitTS int64) {
 	i := 0
 	for i < len(writes) {
 		tid := writes[i].tableID
@@ -411,11 +439,11 @@ func (db *DB) applyWrites(writes []writeOp) {
 			var err error
 			switch w.typ {
 			case wal.RecInsert:
-				err = t.applyInsertLocked(w.key, w.after)
+				err = t.applyInsertLocked(w.key, w.after, commitTS)
 			case wal.RecDelete:
-				err = t.applyDeleteLocked(w.key)
+				err = t.applyDeleteLocked(w.key, commitTS)
 			case wal.RecUpdate:
-				err = t.applyUpdateLocked(w.key, w.after)
+				err = t.applyUpdateLocked(w.key, w.after, commitTS)
 			}
 			if err != nil {
 				// Row locks make apply conflicts impossible; a failure here
@@ -427,6 +455,9 @@ func (db *DB) applyWrites(writes []writeOp) {
 		t.mu.Unlock()
 		i = j
 	}
+	// Every applied op adds exactly one version (insert, replacement or
+	// tombstone); GC subtracts as it reclaims.
+	db.m.versionsLive.Add(float64(len(writes)))
 }
 
 // --- DDL -------------------------------------------------------------
@@ -667,7 +698,7 @@ func (db *DB) recover() error {
 			if err != nil {
 				return fmt.Errorf("engine: recovery commit: %w", err)
 			}
-			db.applyWrites(pending[rec.TxID])
+			db.applyWrites(pending[rec.TxID], p.CommitTS)
 			delete(pending, rec.TxID)
 			if p.CommitTS > db.lastCommitTS.Load() {
 				db.lastCommitTS.Store(p.CommitTS)

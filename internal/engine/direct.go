@@ -16,7 +16,9 @@ import (
 //   - Tamper simulation for tests, examples and the verification
 //     benchmarks: models the paper's threat model (§2.5.2) where an
 //     attacker edits database files in storage, bypassing all engine
-//     checks and leaving no log trace.
+//     checks and leaving no log trace. Tampering therefore edits the
+//     stored version bytes in place rather than appending MVCC versions —
+//     an attacker rewriting data pages does not create history.
 
 // DirectInsert installs a row bypassing transactions and the WAL. For heap
 // tables a RID is assigned. Returns the clustered key.
@@ -32,7 +34,11 @@ func (db *DB) DirectInsert(t *Table, row sqltypes.Row) ([]byte, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return key, t.applyInsertLocked(key, row)
+	if err := t.applyInsertLocked(key, row, db.LastCommitTS()); err != nil {
+		return nil, err
+	}
+	db.m.versionsLive.Add(1)
+	return key, nil
 }
 
 // TamperUpdateRow overwrites the stored bytes of a row in place, bypassing
@@ -43,32 +49,54 @@ func (db *DB) DirectInsert(t *Table, row sqltypes.Row) ([]byte, error) {
 func (db *DB) TamperUpdateRow(t *Table, key []byte, mutate func(sqltypes.Row) sqltypes.Row, updateIndexes bool) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	old, ok := t.rows.Get(key)
+	c, ok := t.rows.Get(key)
 	if !ok {
 		return fmt.Errorf("%w: tamper target", ErrNotFound)
 	}
-	next := mutate(old.Clone())
-	if updateIndexes {
-		return t.applyUpdateLocked(key, next)
+	old, live := c.latestLive()
+	if !live {
+		return fmt.Errorf("%w: tamper target", ErrNotFound)
 	}
-	t.rows.Put(key, next)
+	next := mutate(old.Clone())
+	c.vs[len(c.vs)-1].row = next
+	if updateIndexes {
+		for _, ix := range t.indexes {
+			oldEnt := ix.entryKey(key, old)
+			newEnt := ix.entryKey(key, next)
+			if string(oldEnt) != string(newEnt) {
+				ix.tree.Delete(oldEnt)
+				ix.tree.Put(newEnt, key)
+			}
+		}
+	}
 	return nil
 }
 
-// TamperDeleteRow removes a row bypassing all checks.
+// TamperDeleteRow removes a row — the whole version chain, as an attacker
+// dropping a page would — bypassing all checks.
 func (db *DB) TamperDeleteRow(t *Table, key []byte, updateIndexes bool) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if updateIndexes {
-		return t.applyDeleteLocked(key)
-	}
-	if _, ok := t.rows.Delete(key); !ok {
+	c, ok := t.rows.Get(key)
+	if !ok {
 		return fmt.Errorf("%w: tamper target", ErrNotFound)
+	}
+	old, live := c.latestLive()
+	t.rows.Delete(key)
+	if live {
+		t.liveRows--
+		if updateIndexes {
+			for _, ix := range t.indexes {
+				ix.tree.Delete(ix.entryKey(key, old))
+			}
+		}
 	}
 	return nil
 }
 
-// TamperInsertRow injects a row bypassing all checks.
+// TamperInsertRow injects a row bypassing all checks. The injected version
+// carries timestamp 0, so every snapshot sees it — edited storage has no
+// provenance.
 func (db *DB) TamperInsertRow(t *Table, row sqltypes.Row, updateIndexes bool) ([]byte, error) {
 	var key []byte
 	if t.meta.Heap {
@@ -76,14 +104,7 @@ func (db *DB) TamperInsertRow(t *Table, row sqltypes.Row, updateIndexes bool) ([
 	} else {
 		key = t.keyFor(row)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if updateIndexes {
-		return key, t.applyInsertLocked(key, row)
-	}
-	t.rows.Put(key, row)
-	t.noteRIDLocked(key)
-	return key, nil
+	return key, db.TamperInsertRowAt(t, key, row, updateIndexes)
 }
 
 // TamperInsertRowAt injects a row under an explicit clustered key (heaps
@@ -92,11 +113,28 @@ func (db *DB) TamperInsertRow(t *Table, row sqltypes.Row, updateIndexes bool) ([
 func (db *DB) TamperInsertRowAt(t *Table, key []byte, row sqltypes.Row, updateIndexes bool) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if updateIndexes {
-		return t.applyInsertLocked(key, row)
+	if c, ok := t.rows.Get(key); ok {
+		if _, live := c.latestLive(); live {
+			if updateIndexes {
+				return fmt.Errorf("%w: table %s", ErrDuplicateKey, t.meta.Name)
+			}
+			// Overwrite the newest version's stored bytes in place.
+			c.vs[len(c.vs)-1].row = row
+			t.noteRIDLocked(key)
+			return nil
+		}
+		// Reinstate over a tombstone (the tamper-repair path).
+		c.vs[len(c.vs)-1] = rowVersion{ts: c.latest().ts, row: row}
+	} else {
+		t.rows.Put(key, newChain(0, row))
 	}
-	t.rows.Put(key, row)
+	t.liveRows++
 	t.noteRIDLocked(key)
+	if updateIndexes {
+		for _, ix := range t.indexes {
+			ix.tree.Put(ix.entryKey(key, row), key)
+		}
+	}
 	return nil
 }
 

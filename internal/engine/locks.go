@@ -105,10 +105,37 @@ func (lt *lockTable) acquire(owner uint64, table uint32, key []byte, timeout tim
 		case <-ch:
 			t.Stop()
 		case <-t.C:
+			// The timer can fire in the same instant the lock is released
+			// (release closes ch concurrently). Re-check the channel before
+			// reporting a timeout: if the lock was freed, loop once more —
+			// the retry either grabs the now-free lock immediately or finds
+			// a new owner and times out on the deadline check above. Without
+			// this, the waiter reports a spurious timeout for a lock that
+			// was already free, and its wait registration on the freed
+			// channel is abandoned mid-handoff.
+			select {
+			case <-ch:
+				continue
+			default:
+			}
 			lt.timeouts.Inc()
 			return ErrLockTimeout
 		}
 	}
+}
+
+// entryCount returns the number of live lock entries across all shards.
+// Test support: after every transaction finishes, the table must be empty
+// (no leaked registrations).
+func (lt *lockTable) entryCount() int {
+	n := 0
+	for i := range lt.shards {
+		s := &lt.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // release frees the lock on (table, key) if owner holds it.

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"sqlledger/internal/sqltypes"
+)
+
+// ReadTx is a snapshot-isolated read-only transaction. It pins a snapshot
+// timestamp from the lastCommitTS atomic at Begin and reads the newest row
+// version at or below that timestamp, so it never touches the lock table
+// and never blocks a writer (writers keep strict 2PL + group commit). The
+// snapshot stays registered until Close so version GC cannot reclaim the
+// versions it may still read.
+//
+// ReadTx is not safe for concurrent use by multiple goroutines.
+type ReadTx struct {
+	db   *DB
+	id   uint64
+	ts   int64
+	done bool
+}
+
+// BeginReadOnly starts a snapshot read transaction pinned at the current
+// last commit timestamp.
+func (db *DB) BeginReadOnly() *ReadTx {
+	db.snapMu.Lock()
+	db.nextSnapID++
+	id := db.nextSnapID
+	ts := db.lastCommitTS.Load()
+	db.snaps[id] = ts
+	db.snapMu.Unlock()
+	return &ReadTx{db: db, id: id, ts: ts}
+}
+
+// TS returns the pinned snapshot timestamp (unix nanoseconds).
+func (rtx *ReadTx) TS() int64 { return rtx.ts }
+
+// Get returns the row visible at the snapshot under the given primary-key
+// values.
+func (rtx *ReadTx) Get(t *Table, keyVals ...sqltypes.Value) (sqltypes.Row, bool, error) {
+	if rtx.done {
+		return nil, false, ErrTxDone
+	}
+	if t.meta.Heap {
+		return nil, false, fmt.Errorf("engine: Get on heap table %s requires a RID key", t.meta.Name)
+	}
+	return rtx.GetByKey(t, sqltypes.EncodeKey(nil, keyVals...))
+}
+
+// GetByKey returns the row visible at the snapshot under raw clustered-key
+// bytes.
+func (rtx *ReadTx) GetByKey(t *Table, key []byte) (sqltypes.Row, bool, error) {
+	if rtx.done {
+		return nil, false, ErrTxDone
+	}
+	row, ok := t.getAt(key, rtx.ts)
+	if ok {
+		rtx.db.m.snapshotReads.Inc()
+	}
+	return row, ok, nil
+}
+
+// Scan iterates the rows visible at the snapshot in clustered-key order.
+func (rtx *ReadTx) Scan(t *Table, fn func(key []byte, row sqltypes.Row) bool) error {
+	return rtx.ScanRange(t, nil, nil, fn)
+}
+
+// ScanRange is Scan bounded to start <= key < end (nil = unbounded).
+func (rtx *ReadTx) ScanRange(t *Table, start, end []byte, fn func(key []byte, row sqltypes.Row) bool) error {
+	if rtx.done {
+		return ErrTxDone
+	}
+	read := rtx.db.m.snapshotReads
+	t.scanRangeAt(start, end, rtx.ts, func(k []byte, row sqltypes.Row) bool {
+		read.Inc()
+		return fn(k, row)
+	})
+	return nil
+}
+
+// Close unpins the snapshot, letting version GC advance past it, and
+// observes how far the database moved while the snapshot was held. Close
+// is idempotent.
+func (rtx *ReadTx) Close() {
+	if rtx.done {
+		return
+	}
+	rtx.done = true
+	db := rtx.db
+	db.snapMu.Lock()
+	delete(db.snaps, rtx.id)
+	db.snapMu.Unlock()
+	if lag := db.nowNanos() - rtx.ts; lag > 0 {
+		db.m.snapshotLag.Observe(float64(lag) / 1e9)
+	} else {
+		db.m.snapshotLag.Observe(0)
+	}
+}
+
+// --- Version GC --------------------------------------------------------
+
+// versionGCInterval paces the background sweep that reclaims row versions
+// older than the oldest active snapshot.
+const versionGCInterval = 250 * time.Millisecond
+
+// gcHorizon returns the timestamp below which superseded versions are
+// unreachable: the oldest active snapshot, or lastCommitTS when no
+// snapshot is pinned. Computed under snapMu so it serializes with
+// BeginReadOnly's pin-and-register.
+func (db *DB) gcHorizon() int64 {
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+	if len(db.snaps) == 0 {
+		return db.lastCommitTS.Load()
+	}
+	min := int64(0)
+	first := true
+	for _, ts := range db.snaps {
+		if first || ts < min {
+			min = ts
+			first = false
+		}
+	}
+	return min
+}
+
+// GCVersions runs one synchronous version-GC sweep over every table,
+// returning the number of versions reclaimed. The background loop calls it
+// on a ticker; tests call it directly. A sweep is skipped (returns 0) when
+// a checkpoint or restore holds the database quiescent.
+func (db *DB) GCVersions() int {
+	if !db.quiesce.TryRLock() {
+		return 0
+	}
+	defer db.quiesce.RUnlock()
+	horizon := db.gcHorizon()
+	reclaimed := 0
+	for _, t := range db.Tables() {
+		reclaimed += t.gcVersions(horizon)
+	}
+	if reclaimed > 0 {
+		db.m.gcReclaimed.Add(int64(reclaimed))
+		db.m.versionsLive.Add(-float64(reclaimed))
+	}
+	return reclaimed
+}
+
+// versionGCLoop is the background sweeper started by Open and stopped by
+// Close (before Close quiesces, to avoid a lock cycle).
+func (db *DB) versionGCLoop() {
+	defer close(db.gcDone)
+	tick := time.NewTicker(versionGCInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-db.gcStop:
+			return
+		case <-tick.C:
+			db.GCVersions()
+		}
+	}
+}
+
+// stopVersionGC halts the background sweeper and waits for it to exit.
+func (db *DB) stopVersionGC() {
+	db.gcStopOnce.Do(func() {
+		close(db.gcStop)
+		<-db.gcDone
+	})
+}

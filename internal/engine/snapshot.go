@@ -274,6 +274,7 @@ func (db *DB) loadSnapshot(path string) error {
 		return err
 	}
 	nTables := binary.LittleEndian.Uint32(cnt[:])
+	loaded := 0
 	for i := uint32(0); i < nTables; i++ {
 		var hdr [12]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -298,8 +299,10 @@ func (db *DB) loadSnapshot(path string) error {
 			if err != nil {
 				return err
 			}
-			t.rows.Put(key, row)
-			t.noteRIDLocked(key)
+			// Snapshot rows load as a single version at timestamp 0,
+			// visible to every snapshot read.
+			t.loadRowLocked(key, row)
+			loaded++
 		}
 	}
 	// Rebuild nonclustered indexes from base data.
@@ -320,5 +323,6 @@ func (db *DB) loadSnapshot(path string) error {
 	db.cat = cat
 	db.tables = tables
 	db.lastCommitTS.Store(lastTS)
+	db.m.versionsLive.Set(float64(loaded))
 	return nil
 }

@@ -9,17 +9,24 @@ import (
 	"sqlledger/internal/sqltypes"
 )
 
-// Table is the runtime state of one table: clustered row storage plus any
-// nonclustered indexes. mu guards the trees; DML goes through transactions
-// (tx.go) which apply at commit, while system operations (ledger queue
-// drain, recovery redo, tamper simulation) use the applyDirect path.
+// Table is the runtime state of one table: clustered multi-version row
+// storage plus any nonclustered indexes. mu guards the trees; DML goes
+// through transactions (tx.go) which apply at commit, while system
+// operations (ledger queue drain, recovery redo, tamper simulation) use
+// the applyDirect path. Each clustered key maps to a versionChain
+// (versions.go): committed writes append versions, snapshot readers
+// (readtx.go) pick the newest version at or below their snapshot
+// timestamp, and everything else sees the newest version. Nonclustered
+// indexes track the latest state only — snapshot reads go through the
+// clustered tree.
 type Table struct {
 	meta *TableMeta
 
-	mu      sync.RWMutex
-	rows    *btree.Tree[sqltypes.Row]
-	indexes []*Index
-	nextRID uint64 // heap row-id allocator; guarded by mu
+	mu       sync.RWMutex
+	rows     *btree.Tree[*versionChain]
+	indexes  []*Index
+	nextRID  uint64 // heap row-id allocator; guarded by mu
+	liveRows int    // keys whose newest version is not a tombstone; guarded by mu
 }
 
 // Index is the runtime state of a nonclustered index. Entries map the
@@ -34,7 +41,7 @@ type Index struct {
 func (ix *Index) Meta() IndexMeta { return *ix.meta }
 
 func newTable(meta *TableMeta) *Table {
-	return &Table{meta: meta, rows: btree.New[sqltypes.Row]()}
+	return &Table{meta: meta, rows: btree.New[*versionChain]()}
 }
 
 // Meta returns a copy of the table's catalog entry.
@@ -49,11 +56,25 @@ func (t *Table) Name() string { return t.meta.Name }
 // Schema returns the table schema (shared; callers must not mutate).
 func (t *Table) Schema() *sqltypes.Schema { return t.meta.Schema }
 
-// RowCount returns the number of rows.
+// RowCount returns the number of live rows (newest version not a
+// tombstone).
 func (t *Table) RowCount() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.rows.Len()
+	return t.liveRows
+}
+
+// VersionCount returns the total number of stored row versions, live and
+// superseded (GC observability).
+func (t *Table) VersionCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	t.rows.Ascend(func(_ []byte, c *versionChain) bool {
+		n += c.versionCount()
+		return true
+	})
+	return n
 }
 
 // keyFor computes the clustered key bytes of a row; for heaps the caller
@@ -91,11 +112,26 @@ func (t *Table) noteRIDLocked(key []byte) {
 	}
 }
 
-// get returns the committed row stored under key.
+// get returns the latest committed row stored under key.
 func (t *Table) get(key []byte) (sqltypes.Row, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.rows.Get(key)
+	c, ok := t.rows.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return c.latestLive()
+}
+
+// getAt returns the row under key visible to a snapshot pinned at ts.
+func (t *Table) getAt(key []byte, ts int64) (sqltypes.Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c, ok := t.rows.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return c.at(ts)
 }
 
 // Lookup returns the committed row stored under key, outside any
@@ -104,13 +140,18 @@ func (t *Table) Lookup(key []byte) (sqltypes.Row, bool) {
 	return t.get(key)
 }
 
-// applyInsert installs a row under key, maintaining indexes. Caller must
-// hold mu. Returns an error if the key already exists.
-func (t *Table) applyInsertLocked(key []byte, row sqltypes.Row) error {
-	if _, exists := t.rows.Get(key); exists {
-		return fmt.Errorf("%w: table %s", ErrDuplicateKey, t.meta.Name)
+// applyInsert installs a row version under key, maintaining indexes.
+// Caller must hold mu. Returns an error if the key holds a live row.
+func (t *Table) applyInsertLocked(key []byte, row sqltypes.Row, ts int64) error {
+	if c, exists := t.rows.Get(key); exists {
+		if _, live := c.latestLive(); live {
+			return fmt.Errorf("%w: table %s", ErrDuplicateKey, t.meta.Name)
+		}
+		c.appendVersion(ts, row) // re-insert over a tombstone
+	} else {
+		t.rows.Put(key, newChain(ts, row))
 	}
-	t.rows.Put(key, row)
+	t.liveRows++
 	t.noteRIDLocked(key)
 	for _, ix := range t.indexes {
 		ix.tree.Put(ix.entryKey(key, row), key)
@@ -118,25 +159,37 @@ func (t *Table) applyInsertLocked(key []byte, row sqltypes.Row) error {
 	return nil
 }
 
-// applyDeleteLocked removes the row under key. Caller must hold mu.
-func (t *Table) applyDeleteLocked(key []byte) error {
-	old, ok := t.rows.Delete(key)
+// applyDeleteLocked appends a tombstone version under key. Caller must
+// hold mu.
+func (t *Table) applyDeleteLocked(key []byte, ts int64) error {
+	c, ok := t.rows.Get(key)
 	if !ok {
 		return fmt.Errorf("%w: table %s", ErrNotFound, t.meta.Name)
 	}
+	old, live := c.latestLive()
+	if !live {
+		return fmt.Errorf("%w: table %s", ErrNotFound, t.meta.Name)
+	}
+	c.appendVersion(ts, nil)
+	t.liveRows--
 	for _, ix := range t.indexes {
 		ix.tree.Delete(ix.entryKey(key, old))
 	}
 	return nil
 }
 
-// applyUpdateLocked replaces the row under key. Caller must hold mu.
-func (t *Table) applyUpdateLocked(key []byte, row sqltypes.Row) error {
-	old, replaced := t.rows.Put(key, row)
-	if !replaced {
-		t.rows.Delete(key)
+// applyUpdateLocked appends a replacement version under key. Caller must
+// hold mu.
+func (t *Table) applyUpdateLocked(key []byte, row sqltypes.Row, ts int64) error {
+	c, ok := t.rows.Get(key)
+	if !ok {
 		return fmt.Errorf("%w: table %s", ErrNotFound, t.meta.Name)
 	}
+	old, live := c.latestLive()
+	if !live {
+		return fmt.Errorf("%w: table %s", ErrNotFound, t.meta.Name)
+	}
+	c.appendVersion(ts, row)
 	for _, ix := range t.indexes {
 		oldEnt := ix.entryKey(key, old)
 		newEnt := ix.entryKey(key, row)
@@ -146,6 +199,29 @@ func (t *Table) applyUpdateLocked(key []byte, row sqltypes.Row) error {
 		}
 	}
 	return nil
+}
+
+// gcVersions prunes versions no snapshot at or after horizon can read and
+// removes chains reduced to a dead tombstone. Returns the number of
+// versions reclaimed.
+func (t *Table) gcVersions(horizon int64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	reclaimed := 0
+	var dead [][]byte
+	t.rows.Ascend(func(k []byte, c *versionChain) bool {
+		dropped, rm := c.prune(horizon)
+		reclaimed += dropped
+		if rm {
+			dead = append(dead, append([]byte(nil), k...))
+		}
+		return true
+	})
+	for _, k := range dead {
+		t.rows.Delete(k)
+		reclaimed++ // the tombstone itself
+	}
+	return reclaimed
 }
 
 // EntryKey recomputes the entry key an index should hold for a base-table
@@ -165,19 +241,37 @@ func (ix *Index) entryKey(clusteredKey []byte, row sqltypes.Row) []byte {
 	return append(key, clusteredKey...)
 }
 
-// Scan iterates committed rows in clustered-key order while holding the
-// table read lock. fn returning false stops the scan.
+// Scan iterates the latest committed rows in clustered-key order while
+// holding the table read lock. fn returning false stops the scan.
 func (t *Table) Scan(fn func(key []byte, row sqltypes.Row) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	t.rows.Ascend(fn)
+	t.ScanRange(nil, nil, fn)
 }
 
-// ScanRange iterates committed rows with start <= key < end.
+// ScanRange iterates the latest committed rows with start <= key < end.
 func (t *Table) ScanRange(start, end []byte, fn func(key []byte, row sqltypes.Row) bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	t.rows.AscendRange(start, end, fn)
+	t.rows.AscendRange(start, end, func(k []byte, c *versionChain) bool {
+		row, live := c.latestLive()
+		if !live {
+			return true
+		}
+		return fn(k, row)
+	})
+}
+
+// scanRangeAt iterates the rows visible to a snapshot pinned at ts with
+// start <= key < end.
+func (t *Table) scanRangeAt(start, end []byte, ts int64, fn func(key []byte, row sqltypes.Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.rows.AscendRange(start, end, func(k []byte, c *versionChain) bool {
+		row, ok := c.at(ts)
+		if !ok {
+			return true
+		}
+		return fn(k, row)
+	})
 }
 
 // KeyRange is a half-open range [Start, End) of encoded keys. A nil Start
@@ -249,9 +343,13 @@ func (t *Table) LookupIndexPrefix(ix *Index, vals []sqltypes.Value, fn func(key 
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	ix.tree.AscendRange(prefix, end, func(_ []byte, ck []byte) bool {
-		row, ok := t.rows.Get(ck)
+		c, ok := t.rows.Get(ck)
 		if !ok {
 			return true // index/base divergence is surfaced by verification
+		}
+		row, live := c.latestLive()
+		if !live {
+			return true
 		}
 		return fn(ck, row)
 	})
@@ -278,33 +376,44 @@ func prefixEnd(prefix []byte) []byte {
 }
 
 // widenRowsLocked extends stored rows with NULLs when the schema gains
-// columns (add-column DDL). Caller must hold mu and have updated meta.
+// columns (add-column DDL). Every version is widened, not just the newest,
+// so snapshot reads pinned before the DDL still see schema-length rows.
+// Caller must hold mu and have updated meta.
 func (t *Table) widenRowsLocked() {
 	want := len(t.meta.Schema.Columns)
-	var keys [][]byte
-	var rows []sqltypes.Row
-	t.rows.Ascend(func(k []byte, r sqltypes.Row) bool {
-		if len(r) < want {
-			keys = append(keys, k)
-			nr := make(sqltypes.Row, want)
-			copy(nr, r)
-			for i := len(r); i < want; i++ {
-				nr[i] = sqltypes.NewNull(t.meta.Schema.Columns[i].Type)
+	t.rows.Ascend(func(_ []byte, c *versionChain) bool {
+		for i, v := range c.vs {
+			if v.row == nil || len(v.row) >= want {
+				continue
 			}
-			rows = append(rows, nr)
+			nr := make(sqltypes.Row, want)
+			copy(nr, v.row)
+			for j := len(v.row); j < want; j++ {
+				nr[j] = sqltypes.NewNull(t.meta.Schema.Columns[j].Type)
+			}
+			c.vs[i].row = nr
 		}
 		return true
 	})
-	for i, k := range keys {
-		t.rows.Put(k, rows[i])
-	}
 }
 
-// buildIndexLocked (re)builds an index from the base table. Caller holds mu.
+// buildIndexLocked (re)builds an index from the latest live rows of the
+// base table. Caller holds mu.
 func (t *Table) buildIndexLocked(ix *Index) {
 	ix.tree = btree.New[[]byte]()
-	t.rows.Ascend(func(k []byte, r sqltypes.Row) bool {
-		ix.tree.Put(ix.entryKey(k, r), k)
+	t.rows.Ascend(func(k []byte, c *versionChain) bool {
+		if row, live := c.latestLive(); live {
+			ix.tree.Put(ix.entryKey(k, row), k)
+		}
 		return true
 	})
+}
+
+// loadRowLocked installs a row loaded from a snapshot file as a single
+// version at timestamp 0, visible to every snapshot. Caller holds mu (or
+// owns the table exclusively, as during recovery).
+func (t *Table) loadRowLocked(key []byte, row sqltypes.Row) {
+	t.rows.Put(key, newChain(0, row))
+	t.liveRows++
+	t.noteRIDLocked(key)
 }

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"sqlledger/internal/sqltypes"
+)
+
+// Multi-version row storage. Each clustered key maps to a versionChain:
+// the committed row versions in commit-timestamp order, newest last. A
+// committed write appends a (commitTS, value) version instead of
+// overwriting in place, so read-only transactions can read the newest
+// version at or below their snapshot timestamp without touching the lock
+// table (writers keep strict 2PL; see readtx.go). A nil row marks a
+// tombstone: the row was deleted at that timestamp.
+//
+// Chains are only ever mutated under the owning Table's mu write lock, and
+// commit timestamps are strictly monotonic (db.Commit's sequencing stage),
+// so versions within a chain have strictly ascending timestamps.
+
+// rowVersion is one committed state of a row. row == nil is a tombstone.
+type rowVersion struct {
+	ts  int64
+	row sqltypes.Row
+}
+
+// versionChain holds the versions of one clustered key, oldest first.
+type versionChain struct {
+	vs []rowVersion
+}
+
+func newChain(ts int64, row sqltypes.Row) *versionChain {
+	return &versionChain{vs: []rowVersion{{ts: ts, row: row}}}
+}
+
+// latest returns the newest version.
+func (c *versionChain) latest() rowVersion { return c.vs[len(c.vs)-1] }
+
+// latestLive returns the newest version's row if it is not a tombstone.
+func (c *versionChain) latestLive() (sqltypes.Row, bool) {
+	v := c.latest()
+	return v.row, v.row != nil
+}
+
+// at returns the row visible to a snapshot pinned at ts: the newest
+// version with version.ts <= ts. A tombstone or the absence of any such
+// version means the key is invisible to the snapshot.
+func (c *versionChain) at(ts int64) (sqltypes.Row, bool) {
+	for i := len(c.vs) - 1; i >= 0; i-- {
+		if c.vs[i].ts <= ts {
+			return c.vs[i].row, c.vs[i].row != nil
+		}
+	}
+	return nil, false
+}
+
+// appendVersion adds a new newest version.
+func (c *versionChain) appendVersion(ts int64, row sqltypes.Row) {
+	c.vs = append(c.vs, rowVersion{ts: ts, row: row})
+}
+
+// prune drops versions no snapshot at or after horizon can reach: every
+// version older than the newest version with ts <= horizon. It returns the
+// number of versions dropped and whether the whole chain is dead (reduced
+// to a single tombstone at or below the horizon) and can be removed from
+// the tree by the caller.
+func (c *versionChain) prune(horizon int64) (dropped int, dead bool) {
+	keep := -1
+	for i := len(c.vs) - 1; i >= 0; i-- {
+		if c.vs[i].ts <= horizon {
+			keep = i
+			break
+		}
+	}
+	if keep > 0 {
+		c.vs = append(c.vs[:0], c.vs[keep:]...)
+		dropped = keep
+	}
+	dead = len(c.vs) == 1 && c.vs[0].row == nil && c.vs[0].ts <= horizon
+	return dropped, dead
+}
+
+// versionCount returns the number of versions in the chain.
+func (c *versionChain) versionCount() int { return len(c.vs) }

@@ -273,6 +273,45 @@ func BuildProof(leaves []Hash, index uint64) (Proof, error) {
 	return p, nil
 }
 
+// BuildProofs constructs inclusion proofs for several leaves of the same
+// tree in one pass. BuildProof recomputes every tree level per call, so
+// proving k rows of one transaction costs k full tree constructions;
+// BuildProofs computes the levels once and extracts all k sibling paths
+// from them. Read receipts use it to prove every row a snapshot read
+// touched within a (transaction, table) tree, and every entry within a
+// block tree.
+func BuildProofs(leaves []Hash, indices []uint64) ([]Proof, error) {
+	n := uint64(len(leaves))
+	proofs := make([]Proof, len(indices))
+	pos := make([]uint64, len(indices))
+	for i, idx := range indices {
+		if idx >= n {
+			return nil, fmt.Errorf("merkle: index %d out of range (%d leaves)", idx, n)
+		}
+		proofs[i] = Proof{Index: idx, LeafCount: n}
+		pos[i] = idx
+	}
+	level := append([]Hash(nil), leaves...)
+	for len(level) > 1 {
+		for i := range proofs {
+			if sib := pos[i] ^ 1; sib < uint64(len(level)) {
+				proofs[i].Siblings = append(proofs[i].Siblings, level[sib])
+			}
+			pos[i] /= 2
+		}
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, combine(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i]) // promotion
+			}
+		}
+		level = next
+	}
+	return proofs, nil
+}
+
 // Verify checks that leaf at p.Index is included in the tree whose root is
 // root, given the proof.
 func (p Proof) Verify(root, leaf Hash) bool {

@@ -376,3 +376,54 @@ func TestStreamingPoolReuse(t *testing.T) {
 	}
 	PutStreaming(s2)
 }
+
+// TestBuildProofsMatchesBuildProof: the batched construction must produce
+// byte-identical proofs to the one-at-a-time construction, for every
+// index, at every tree size including promotion-heavy ones.
+func TestBuildProofsMatchesBuildProof(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		ls := leaves(n, int64(300+n))
+		root := RootOf(ls)
+		indices := make([]uint64, n)
+		for i := range indices {
+			indices[i] = uint64(i)
+		}
+		ps, err := BuildProofs(ls, indices)
+		if err != nil {
+			t.Fatalf("BuildProofs(n=%d): %v", n, err)
+		}
+		for i, p := range ps {
+			want, _ := BuildProof(ls, uint64(i))
+			if p.Index != want.Index || p.LeafCount != want.LeafCount || len(p.Siblings) != len(want.Siblings) {
+				t.Fatalf("n=%d i=%d: batched proof shape differs", n, i)
+			}
+			for j := range p.Siblings {
+				if p.Siblings[j] != want.Siblings[j] {
+					t.Fatalf("n=%d i=%d: sibling %d differs", n, i, j)
+				}
+			}
+			if !p.Verify(root, ls[i]) {
+				t.Fatalf("n=%d i=%d: batched proof does not verify", n, i)
+			}
+		}
+	}
+}
+
+// TestBuildProofsDuplicateAndUnordered: indices may repeat and arrive in
+// any order; out-of-range indices fail the whole batch.
+func TestBuildProofsDuplicateAndUnordered(t *testing.T) {
+	ls := leaves(11, 42)
+	root := RootOf(ls)
+	ps, err := BuildProofs(ls, []uint64{7, 0, 7, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range []uint64{7, 0, 7, 10} {
+		if ps[i].Index != idx || !ps[i].Verify(root, ls[idx]) {
+			t.Fatalf("proof %d (leaf %d) does not verify", i, idx)
+		}
+	}
+	if _, err := BuildProofs(ls, []uint64{0, 11}); err == nil {
+		t.Fatal("expected error for out-of-range index in batch")
+	}
+}

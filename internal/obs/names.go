@@ -22,6 +22,17 @@ const (
 	LockWaitSeconds     = "sqlledger_lock_wait_seconds"
 	LockTimeoutTotal    = "sqlledger_lock_timeout_total"
 
+	// Engine MVCC read path (internal/engine/readtx.go).
+	// SnapshotReadsTotal counts rows returned by snapshot (read-only)
+	// transactions; VersionsLive tracks stored row versions, live and
+	// superseded; VersionGCReclaimedTotal counts versions reclaimed by the
+	// background GC; ReadSnapshotLagSeconds observes, at read-tx close,
+	// how far lastCommitTS advanced past the pinned snapshot.
+	SnapshotReadsTotal      = "sqlledger_snapshot_reads_total"
+	VersionsLive            = "sqlledger_versions_live"
+	VersionGCReclaimedTotal = "sqlledger_version_gc_reclaimed_total"
+	ReadSnapshotLagSeconds  = "sqlledger_read_snapshot_lag_seconds"
+
 	// Ledger core (internal/core)
 	// RowsHashedTotal counts row versions hashed on the DML ingest path
 	// (inserts, updates, deletes and batched ingest; verification's

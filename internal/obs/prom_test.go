@@ -38,6 +38,13 @@ func TestWritePrometheusGolden(t *testing.T) {
 	hb.Observe(500)
 	hb.Observe(1000)
 	hb.Observe(1000)
+	// The PR-6 MVCC read-path names.
+	r.Counter(SnapshotReadsTotal).Add(1200)
+	r.Gauge(VersionsLive).Set(84)
+	r.Counter(VersionGCReclaimedTotal).Add(16)
+	lag := r.Histogram(ReadSnapshotLagSeconds, []float64{1, 2, 4})
+	lag.Observe(1)
+	lag.Observe(3)
 
 	var buf bytes.Buffer
 	if err := r.WritePrometheus(&buf); err != nil {

@@ -53,6 +53,13 @@ type (
 	DB = core.LedgerDB
 	// Tx is a ledger-aware transaction.
 	Tx = core.Tx
+	// ReadTx is a ledger-aware snapshot read transaction: reads never take
+	// row locks, see a consistent commit timestamp, and can be closed into
+	// a verifiable ReadReceipt.
+	ReadTx = core.ReadTx
+	// ReadReceipt proves offline that every row a snapshot read returned
+	// is committed ledger content.
+	ReadReceipt = core.ReadReceipt
 	// LedgerTable is a handle to a ledger table.
 	LedgerTable = core.LedgerTable
 	// Digest is an exported database digest.
@@ -275,6 +282,13 @@ func ParseSignedDigest(b []byte) (SignedDigest, error) { return core.ParseSigned
 
 // ParseReceipt parses a receipt JSON document.
 func ParseReceipt(b []byte) (Receipt, error) { return core.ParseReceipt(b) }
+
+// VerifyReadReceipt checks a snapshot-read receipt offline against the
+// signer's public key; it needs no database access.
+var VerifyReadReceipt = core.VerifyReadReceipt
+
+// ParseReadReceipt parses a read receipt JSON document.
+func ParseReadReceipt(b []byte) (ReadReceipt, error) { return core.ParseReadReceipt(b) }
 
 // Schema construction helpers.
 
