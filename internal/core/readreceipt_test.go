@@ -35,11 +35,11 @@ func seedReadLedger(t *testing.T, l *LedgerDB) *LedgerTable {
 	return lt
 }
 
-// readAll snapshot-reads every row (one Get plus a full Scan) and returns
-// the open transaction.
+// readAll snapshot-reads every row (one Get plus a full Scan) under a
+// receipt-collecting transaction and returns it still open.
 func readAll(t *testing.T, l *LedgerDB, lt *LedgerTable) *ReadTx {
 	t.Helper()
-	rt := l.BeginReadOnly()
+	rt := l.BeginReadOnlyForReceipt()
 	row, ok, err := rt.Get(lt, sqltypes.NewNVarChar("a1"))
 	if err != nil || !ok {
 		t.Fatalf("snapshot get: ok=%v err=%v", ok, err)
@@ -141,7 +141,7 @@ func TestReadReceiptEmptyReadSet(t *testing.T) {
 	pub, priv := testKeys(t)
 	l := openTestLedger(t, 4)
 	seedReadLedger(t, l)
-	rt := l.BeginReadOnly()
+	rt := l.BeginReadOnlyForReceipt()
 	r, err := rt.CloseWithReceipt(priv)
 	if err != nil {
 		t.Fatal(err)
@@ -151,6 +151,38 @@ func TestReadReceiptEmptyReadSet(t *testing.T) {
 	}
 	if err := VerifyReadReceipt(r, pub); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPlainReadOnlySkipsReadSet: a transaction begun with BeginReadOnly
+// accumulates nothing (a full scan clones zero rows) and refuses to mint
+// a receipt, while the reads themselves work normally.
+func TestPlainReadOnlySkipsReadSet(t *testing.T) {
+	_, priv := testKeys(t)
+	l := openTestLedger(t, 4)
+	lt := seedReadLedger(t, l)
+
+	rt := l.BeginReadOnly()
+	defer rt.Close()
+	n := 0
+	if err := rt.Scan(lt, func(sqltypes.Row) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("snapshot scan saw %d rows, want 5", n)
+	}
+	if _, ok, err := rt.Get(lt, sqltypes.NewNVarChar("a1")); err != nil || !ok {
+		t.Fatalf("snapshot get: ok=%v err=%v", ok, err)
+	}
+	if rt.ReadSetSize() != 0 {
+		t.Fatalf("plain read-only tx accumulated %d rows, want 0", rt.ReadSetSize())
+	}
+	if _, err := rt.CloseWithReceipt(priv); err != ErrReceiptNotRequested {
+		t.Fatalf("CloseWithReceipt on plain read tx: err=%v, want ErrReceiptNotRequested", err)
+	}
+	// The refusal left the transaction open; reads still work.
+	if _, ok, err := rt.Get(lt, sqltypes.NewNVarChar("b1")); err != nil || !ok {
+		t.Fatalf("snapshot get after refused receipt: ok=%v err=%v", ok, err)
 	}
 }
 

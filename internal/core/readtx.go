@@ -2,10 +2,16 @@ package core
 
 import (
 	"crypto/ed25519"
+	"errors"
 
 	"sqlledger/internal/engine"
 	"sqlledger/internal/sqltypes"
 )
+
+// ErrReceiptNotRequested is returned by CloseWithReceipt on a read
+// transaction that was begun with BeginReadOnly rather than
+// BeginReadOnlyForReceipt, so no read set was accumulated.
+var ErrReceiptNotRequested = errors.New("core: read set not accumulated; begin with BeginReadOnlyForReceipt")
 
 // ReadTx is a ledger-aware snapshot read transaction. It wraps the
 // engine's MVCC read path (engine.ReadTx): reads are served from the
@@ -13,10 +19,13 @@ import (
 // touch the lock table, so readers scale with client count while writers
 // run 2PL + group commit undisturbed.
 //
-// Every row returned from a ledger table is accumulated into a read set;
-// at close the read set can be turned into a ReadReceipt — an offline-
-// verifiable proof that each returned row is committed ledger content
-// (readreceipt.go, §5.1 extended to query results).
+// When begun with BeginReadOnlyForReceipt, every row returned from a
+// ledger table is accumulated into a read set; at close the read set can
+// be turned into a ReadReceipt — an offline-verifiable proof that each
+// returned row is committed ledger content (readreceipt.go, §5.1 extended
+// to query results). Plain BeginReadOnly skips the accumulation entirely:
+// a full-table scan then clones nothing, instead of materializing a
+// second copy of the table that Close would just throw away.
 //
 // ReadTx is not safe for concurrent use by multiple goroutines.
 type ReadTx struct {
@@ -24,6 +33,9 @@ type ReadTx struct {
 	rtx  *engine.ReadTx
 	done bool
 
+	// collect is set by BeginReadOnlyForReceipt; when false, record is a
+	// no-op and CloseWithReceipt refuses.
+	collect bool
 	// reads is the accumulated read set: one cloned full storage row per
 	// distinct row version returned to the caller.
 	reads []readRecord
@@ -45,10 +57,19 @@ type readVersionKey struct {
 	seq     uint32
 }
 
-// BeginReadOnly starts a snapshot read transaction pinned at the current
-// last commit timestamp.
+// BeginReadOnly starts a snapshot read transaction pinned at the engine's
+// applied-through watermark. No read set is accumulated; end it with
+// Close. Use BeginReadOnlyForReceipt when the reads must be provable.
 func (l *LedgerDB) BeginReadOnly() *ReadTx {
-	return &ReadTx{l: l, rtx: l.edb.BeginReadOnly(), seen: make(map[readVersionKey]struct{})}
+	return &ReadTx{l: l, rtx: l.edb.BeginReadOnly()}
+}
+
+// BeginReadOnlyForReceipt is BeginReadOnly with read-set accumulation:
+// every distinct row version returned is cloned into the read set so
+// CloseWithReceipt can prove it. Callers that only want the snapshot
+// should use BeginReadOnly and skip the copies.
+func (l *LedgerDB) BeginReadOnlyForReceipt() *ReadTx {
+	return &ReadTx{l: l, rtx: l.edb.BeginReadOnly(), collect: true, seen: make(map[readVersionKey]struct{})}
 }
 
 // SnapshotTS returns the pinned snapshot timestamp (unix nanoseconds).
@@ -59,7 +80,11 @@ func (rt *ReadTx) SnapshotTS() int64 { return rt.rtx.TS() }
 func (rt *ReadTx) Raw() *engine.ReadTx { return rt.rtx }
 
 // record adds a returned row version to the read set (deduplicated).
+// A no-op unless the transaction was begun with BeginReadOnlyForReceipt.
 func (rt *ReadTx) record(lt *LedgerTable, full sqltypes.Row) {
+	if !rt.collect {
+		return
+	}
 	k := readVersionKey{
 		tableID: lt.ID(),
 		txID:    uint64(full[lt.startTxOrd].Int()),
@@ -122,10 +147,15 @@ func (rt *ReadTx) Close() {
 // CloseWithReceipt turns the read set into an offline-verifiable
 // ReadReceipt signed with priv, then closes the transaction. The snapshot
 // stays pinned while the receipt is assembled, so version GC cannot
-// reclaim the proven versions mid-build.
+// reclaim the proven versions mid-build. The transaction must have been
+// begun with BeginReadOnlyForReceipt; otherwise ErrReceiptNotRequested is
+// returned (and the transaction stays open, since nothing was consumed).
 func (rt *ReadTx) CloseWithReceipt(priv ed25519.PrivateKey) (ReadReceipt, error) {
 	if rt.done {
 		return ReadReceipt{}, engine.ErrTxDone
+	}
+	if !rt.collect {
+		return ReadReceipt{}, ErrReceiptNotRequested
 	}
 	r, err := rt.l.buildReadReceipt(rt.reads, rt.rtx.TS(), priv)
 	rt.Close()

@@ -85,6 +85,22 @@ type DB struct {
 	commitMu     sync.Mutex
 	lastCommitTS atomic.Int64
 
+	// appliedTS is the applied-through watermark: the largest timestamp T
+	// such that every commit with ts <= T has installed its writes into
+	// shared storage (stage 4 of the pipeline). lastCommitTS is published
+	// in stage 1, before the durability wait and apply, so snapshot reads
+	// pin appliedTS instead — pinning lastCommitTS would let a reader
+	// observe a cut whose transactions are not all applied yet (missing
+	// T while seeing a younger T', non-repeatable reads within one
+	// snapshot). Advanced only by markApplied, monotonically.
+	appliedTS atomic.Int64
+	// inflightMu guards inflight — the set of sequenced-but-unapplied
+	// commit timestamps — and makes lastCommitTS publication atomic with
+	// in-flight registration, so markApplied always sees every timestamp
+	// that may still be unapplied.
+	inflightMu sync.Mutex
+	inflight   map[int64]struct{}
+
 	// quiesce: commits and DDL hold RLock; checkpoint/restore hold Lock.
 	quiesce sync.RWMutex
 
@@ -161,16 +177,17 @@ func Open(opts Options) (*DB, error) {
 	// counted on the shared registry.
 	log.Instrument(opts.Obs)
 	db := &DB{
-		opts:   opts,
-		cat:    newCatalog(),
-		tables: make(map[uint32]*Table),
-		log:    log,
-		locks:  newLockTable(opts.Obs),
-		snaps:  make(map[uint64]int64),
-		gcStop: make(chan struct{}),
-		gcDone: make(chan struct{}),
-		obs:    opts.Obs,
-		m:      bindDBMetrics(opts.Obs),
+		opts:     opts,
+		cat:      newCatalog(),
+		tables:   make(map[uint32]*Table),
+		log:      log,
+		locks:    newLockTable(opts.Obs),
+		snaps:    make(map[uint64]int64),
+		inflight: make(map[int64]struct{}),
+		gcStop:   make(chan struct{}),
+		gcDone:   make(chan struct{}),
+		obs:      opts.Obs,
+		m:        bindDBMetrics(opts.Obs),
 	}
 	if err := db.recover(); err != nil {
 		log.Close()
@@ -355,13 +372,19 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 	// the metrics-off ablation skips all four stage observations.
 	lap := db.obs.Timer()
 
-	// Stage 1 — sequence.
+	// Stage 1 — sequence. Publishing lastCommitTS and registering the
+	// timestamp as in-flight happen under one inflightMu critical section
+	// so the applied-through watermark (markApplied) can never observe a
+	// published timestamp that is missing from the in-flight set.
 	db.commitMu.Lock()
 	now := db.nowNanos()
 	if last := db.lastCommitTS.Load(); now <= last {
 		now = last + 1
 	}
+	db.inflightMu.Lock()
 	db.lastCommitTS.Store(now)
+	db.inflight[now] = struct{}{}
+	db.inflightMu.Unlock()
 
 	var entry *wal.LedgerEntry
 	if len(tx.Roots) > 0 && db.opts.Hook != nil {
@@ -404,7 +427,10 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 		// is burned; the block will fail to close and verification will
 		// flag the gap. This mirrors the paper's stance that the ledger
 		// surfaces inconsistencies rather than papering over them — a
-		// real deployment treats log-write failure as fail-stop.
+		// real deployment treats log-write failure as fail-stop. The
+		// burned timestamp is retired too: its writes will never apply,
+		// so it must not hold the applied-through watermark back forever.
+		db.markApplied(now)
 		return 0, fmt.Errorf("engine: commit log: %w", err)
 	}
 
@@ -413,11 +439,33 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 	// a version stamped with the commit timestamp; snapshot readers pinned
 	// earlier keep seeing the previous versions.
 	db.applyWrites(tx.writes, now)
+	db.markApplied(now)
 	tx.done = true
 	tx.releaseLocks()
 	lap.Lap(db.m.stageApply)
 	db.m.commits.Inc()
 	return now, nil
+}
+
+// markApplied retires a sequenced commit timestamp after its writes are
+// installed (or abandoned on a log-write failure) and advances the
+// applied-through watermark to the largest timestamp with no unapplied
+// commit at or below it: lastCommitTS when nothing is in flight, otherwise
+// one below the oldest in-flight commit. appliedTS is only written here,
+// under inflightMu, so the monotonicity check is race-free.
+func (db *DB) markApplied(ts int64) {
+	db.inflightMu.Lock()
+	delete(db.inflight, ts)
+	applied := db.lastCommitTS.Load()
+	for pending := range db.inflight {
+		if pending-1 < applied {
+			applied = pending - 1
+		}
+	}
+	if applied > db.appliedTS.Load() {
+		db.appliedTS.Store(applied)
+	}
+	db.inflightMu.Unlock()
 }
 
 // applyWrites installs a committed write set into the tables as versions
@@ -729,6 +777,9 @@ func (db *DB) recover() error {
 	if maxTx >= db.cat.NextTxID {
 		db.cat.NextTxID = maxTx + 1
 	}
+	// Replay applies every committed transaction synchronously, so the
+	// applied-through watermark starts flush with the last commit.
+	db.appliedTS.Store(db.lastCommitTS.Load())
 	if db.opts.Hook != nil {
 		db.opts.Hook.Recovered(entries)
 	}

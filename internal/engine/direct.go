@@ -83,6 +83,8 @@ func (db *DB) TamperDeleteRow(t *Table, key []byte, updateIndexes bool) error {
 	}
 	old, live := c.latestLive()
 	t.rows.Delete(key)
+	// The whole chain is gone; keep the gauge honest even for tampering.
+	db.m.versionsLive.Add(-float64(c.versionCount()))
 	if live {
 		t.liveRows--
 		if updateIndexes {
@@ -123,10 +125,13 @@ func (db *DB) TamperInsertRowAt(t *Table, key []byte, row sqltypes.Row, updateIn
 			t.noteRIDLocked(key)
 			return nil
 		}
-		// Reinstate over a tombstone (the tamper-repair path).
+		// Reinstate over a tombstone (the tamper-repair path). The
+		// tombstone version is rewritten in place, so versions_live is
+		// unchanged.
 		c.vs[len(c.vs)-1] = rowVersion{ts: c.latest().ts, row: row}
 	} else {
 		t.rows.Put(key, newChain(0, row))
+		db.m.versionsLive.Add(1)
 	}
 	t.liveRows++
 	t.noteRIDLocked(key)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -274,6 +275,152 @@ func TestConcurrentSnapshotReadsAndWrites(t *testing.T) {
 	time.Sleep(300 * time.Millisecond)
 	close(stop)
 	wg.Wait()
+}
+
+// TestSnapshotConsistentCut: regression for snapshots pinned at
+// lastCommitTS, which the commit sequencer publishes before the
+// durability wait and the apply stage. A snapshot pinned there could
+// miss a transaction it is entitled to see and then find it on a
+// re-read (non-repeatable), or see a younger transaction while an older
+// one is still unapplied. Pinning the applied-through watermark makes
+// the cut immutable: every committed transaction here writes the same
+// value to both keys, so any snapshot must see them equal and re-reads
+// must repeat.
+func TestSnapshotConsistentCut(t *testing.T) {
+	db := openTestDB(t)
+	tab := mustCreate(t, db, "t", kvSchema())
+	tx := db.Begin("u")
+	for k := int64(0); k < 2; k++ {
+		if _, err := tx.Insert(tab, kv(k, "v0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(t, db, tx)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := fmt.Sprintf("w%d-%d", w, i)
+				tx := db.Begin("w")
+				if _, err := tx.Update(tab, kv(0, v)); err != nil {
+					tx.Rollback()
+					continue
+				}
+				if _, err := tx.Update(tab, kv(1, v)); err != nil {
+					tx.Rollback()
+					continue
+				}
+				_, _ = db.Commit(tx)
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		rtx := db.BeginReadOnly()
+		v0a, ok0 := getStr(t, rtx, tab, 0)
+		v1, ok1 := getStr(t, rtx, tab, 1)
+		v0b, _ := getStr(t, rtx, tab, 0)
+		rtx.Close()
+		if !ok0 || !ok1 {
+			t.Fatal("snapshot missed a seeded row")
+		}
+		if v0a != v1 {
+			t.Fatalf("snapshot saw inconsistent cut: key0=%q key1=%q", v0a, v1)
+		}
+		if v0a != v0b {
+			t.Fatalf("non-repeatable read within one snapshot: %q then %q", v0a, v0b)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestTamperVersionsLiveGauge: the direct/tamper storage paths adjust the
+// sqlledger_versions_live gauge symmetrically, so it tracks the actual
+// stored version count through tampering, not just committed DML and GC.
+func TestTamperVersionsLiveGauge(t *testing.T) {
+	reg := obs.NewRegistry()
+	db, err := Open(Options{Dir: t.TempDir(), LockTimeout: 250 * time.Millisecond, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.stopVersionGC()
+	tab, err := db.CreateTable(CreateTableSpec{Name: "t", Schema: kvSchema()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gauge := func() float64 {
+		v, _ := reg.Snapshot().GaugeValue(obs.VersionsLive)
+		return v
+	}
+
+	// Committed insert + two updates build a 3-version chain.
+	tx := db.Begin("u")
+	if _, err := tx.Insert(tab, kv(1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, db, tx)
+	for _, v := range []string{"b", "c"} {
+		tx := db.Begin("u")
+		if _, err := tx.Update(tab, kv(1, v)); err != nil {
+			t.Fatal(err)
+		}
+		commit(t, db, tx)
+	}
+	if g := gauge(); g != 3 {
+		t.Fatalf("versions_live after 3 committed versions = %v, want 3", g)
+	}
+
+	if _, err := db.DirectInsert(tab, kv(2, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if g := gauge(); g != 4 {
+		t.Fatalf("versions_live after DirectInsert = %v, want 4", g)
+	}
+
+	// In-place tamper update rewrites bytes without creating history.
+	if err := db.TamperUpdateRow(tab, tab.keyFor(kv(1, "c")), func(r sqltypes.Row) sqltypes.Row {
+		r[1] = sqltypes.NewNVarChar("evil")
+		return r
+	}, true); err != nil {
+		t.Fatal(err)
+	}
+	if g := gauge(); g != 4 {
+		t.Fatalf("versions_live after TamperUpdateRow = %v, want 4", g)
+	}
+
+	// Deleting the tampered row drops its whole 3-version chain.
+	if err := db.TamperDeleteRow(tab, tab.keyFor(kv(1, "c")), true); err != nil {
+		t.Fatal(err)
+	}
+	if g := gauge(); g != 1 {
+		t.Fatalf("versions_live after TamperDeleteRow = %v, want 1", g)
+	}
+
+	// Injecting under a fresh key installs a new single-version chain.
+	if _, err := db.TamperInsertRow(tab, kv(3, "y"), true); err != nil {
+		t.Fatal(err)
+	}
+	if g := gauge(); g != 2 {
+		t.Fatalf("versions_live after TamperInsertRow = %v, want 2", g)
+	}
+	total := 0
+	for _, tt := range db.Tables() {
+		total += tt.VersionCount()
+	}
+	if g := gauge(); g != float64(total) {
+		t.Fatalf("versions_live = %v, stored versions = %d", g, total)
+	}
 }
 
 // TestLockTimeoutReleaseRace hammers the timeout-vs-release window of

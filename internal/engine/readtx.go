@@ -8,7 +8,7 @@ import (
 )
 
 // ReadTx is a snapshot-isolated read-only transaction. It pins a snapshot
-// timestamp from the lastCommitTS atomic at Begin and reads the newest row
+// timestamp from the appliedTS watermark at Begin and reads the newest row
 // version at or below that timestamp, so it never touches the lock table
 // and never blocks a writer (writers keep strict 2PL + group commit). The
 // snapshot stays registered until Close so version GC cannot reclaim the
@@ -23,12 +23,19 @@ type ReadTx struct {
 }
 
 // BeginReadOnly starts a snapshot read transaction pinned at the current
-// last commit timestamp.
+// applied-through watermark: the newest timestamp whose commit — and every
+// older commit — has fully installed its writes. Pinning lastCommitTS
+// instead would be wrong: the commit pipeline publishes lastCommitTS in
+// its sequencing stage, before the group-commit durability wait and the
+// apply stage, so a snapshot pinned there could miss versions it is
+// entitled to see (and then find them on a re-read — a torn, non-stable
+// cut). appliedTS only covers fully applied prefixes, and no later commit
+// can ever install a version at or below it, so the cut is immutable.
 func (db *DB) BeginReadOnly() *ReadTx {
 	db.snapMu.Lock()
 	db.nextSnapID++
 	id := db.nextSnapID
-	ts := db.lastCommitTS.Load()
+	ts := db.appliedTS.Load()
 	db.snaps[id] = ts
 	db.snapMu.Unlock()
 	return &ReadTx{db: db, id: id, ts: ts}
@@ -81,8 +88,10 @@ func (rtx *ReadTx) ScanRange(t *Table, start, end []byte, fn func(key []byte, ro
 }
 
 // Close unpins the snapshot, letting version GC advance past it, and
-// observes how far the database moved while the snapshot was held. Close
-// is idempotent.
+// observes how far the database moved while the snapshot was held: the
+// advance of the applied-through watermark between pin and close (zero on
+// an idle database, however long the snapshot was open). Close is
+// idempotent.
 func (rtx *ReadTx) Close() {
 	if rtx.done {
 		return
@@ -92,7 +101,7 @@ func (rtx *ReadTx) Close() {
 	db.snapMu.Lock()
 	delete(db.snaps, rtx.id)
 	db.snapMu.Unlock()
-	if lag := db.nowNanos() - rtx.ts; lag > 0 {
+	if lag := db.appliedTS.Load() - rtx.ts; lag > 0 {
 		db.m.snapshotLag.Observe(float64(lag) / 1e9)
 	} else {
 		db.m.snapshotLag.Observe(0)
@@ -106,14 +115,17 @@ func (rtx *ReadTx) Close() {
 const versionGCInterval = 250 * time.Millisecond
 
 // gcHorizon returns the timestamp below which superseded versions are
-// unreachable: the oldest active snapshot, or lastCommitTS when no
-// snapshot is pinned. Computed under snapMu so it serializes with
-// BeginReadOnly's pin-and-register.
+// unreachable: the oldest active snapshot, or the applied-through
+// watermark when no snapshot is pinned (NOT lastCommitTS — a snapshot
+// pinned just after this computation pins appliedTS, which may trail
+// lastCommitTS, and the horizon must never exceed any future pin).
+// Computed under snapMu so it serializes with BeginReadOnly's
+// pin-and-register.
 func (db *DB) gcHorizon() int64 {
 	db.snapMu.Lock()
 	defer db.snapMu.Unlock()
 	if len(db.snaps) == 0 {
-		return db.lastCommitTS.Load()
+		return db.appliedTS.Load()
 	}
 	min := int64(0)
 	first := true

@@ -27,7 +27,8 @@ const (
 	// transactions; VersionsLive tracks stored row versions, live and
 	// superseded; VersionGCReclaimedTotal counts versions reclaimed by the
 	// background GC; ReadSnapshotLagSeconds observes, at read-tx close,
-	// how far lastCommitTS advanced past the pinned snapshot.
+	// how far the applied-commit watermark advanced past the pinned
+	// snapshot while it was held (zero on an idle database).
 	SnapshotReadsTotal      = "sqlledger_snapshot_reads_total"
 	VersionsLive            = "sqlledger_versions_live"
 	VersionGCReclaimedTotal = "sqlledger_version_gc_reclaimed_total"

@@ -54,8 +54,9 @@ type (
 	// Tx is a ledger-aware transaction.
 	Tx = core.Tx
 	// ReadTx is a ledger-aware snapshot read transaction: reads never take
-	// row locks, see a consistent commit timestamp, and can be closed into
-	// a verifiable ReadReceipt.
+	// row locks and see a consistent applied-commit cut. Begun via
+	// BeginReadOnlyForReceipt, it additionally accumulates a read set
+	// that CloseWithReceipt turns into a verifiable ReadReceipt.
 	ReadTx = core.ReadTx
 	// ReadReceipt proves offline that every row a snapshot read returned
 	// is committed ledger content.
