@@ -95,5 +95,23 @@ test-race-read:
 	go test -race ./internal/core/ -run 'ReadReceipt'
 	go test -race . -run 'ReadScaling'
 
+# Race-enabled sharded-ledger audit: the engine's two-phase commit
+# (prepare/commit/abort and in-doubt recovery), cross-shard transactions
+# hammering the coordinator's decision log, and super-block closes racing
+# live multi-client ingest.
+.PHONY: test-race-shard
+test-race-shard:
+	go test -race ./internal/engine/ -run 'Prepare|ReadOnlyPrepare'
+	go test -race ./internal/core/ -run 'Sharded'
+
+# Shard-scaling gate + benchmark: the fixed 4-client pool at 1/2/4
+# shards, plus the digest-equality and super-root reproducibility checks.
+# Race-free on purpose — the gate measures wall-clock ratios, which the
+# race detector distorts (test-race-shard audits the same paths).
+.PHONY: bench-shard
+bench-shard:
+	go test -run 'ShardIngestScaling' -v .
+	go test -run - -bench 'IngestSharded' -benchtime 20x .
+
 .PHONY: check
-check: fmt-check vet test test-race-verify test-race-commit test-race-obs test-race-health test-race-read
+check: fmt-check vet test test-race-verify test-race-commit test-race-obs test-race-health test-race-read test-race-shard

@@ -13,6 +13,14 @@
 //	sqlledger -db ./bank verify digest.json [digest2.json ...]
 //	sqlledger -db ./bank tamper accounts nick 999999
 //	sqlledger -db ./bank tables
+//
+// With -shards N (N > 1) the database is hash-partitioned across N
+// engine instances under one signed super-root:
+//
+//	sqlledger -db ./bank -shards 4 create accounts name:NVARCHAR:key balance:BIGINT
+//	sqlledger -db ./bank -shards 4 insert accounts nick 100
+//	sqlledger -db ./bank -shards 4 superblock > super.json
+//	sqlledger -db ./bank -shards 4 verify-super super.json
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 var dbDir = flag.String("db", "./ledgerdb", "database directory")
 var user = flag.String("user", "cli", "principal recorded for transactions")
 var metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/* on this address while the command runs (empty: off)")
+var shards = flag.Int("shards", 1, "shard the database across N engine instances under one signed super-root (>1 enables sharded mode)")
 
 func main() {
 	flag.Parse()
@@ -45,6 +54,10 @@ func main() {
 		usage()
 	}
 	reg := sqlledger.NewMetricsRegistry()
+	if *shards > 1 {
+		shardedMain(reg, args)
+		return
+	}
 	db, err := sqlledger.Open(sqlledger.Options{Dir: *dbDir, BlockSize: 1000, Obs: reg})
 	if err != nil {
 		fatal(err)
@@ -102,6 +115,142 @@ func main() {
 		cmdServe(db, reg, rest)
 	default:
 		usage()
+	}
+}
+
+// shardedMain dispatches commands against a sharded database
+// (-shards N): each shard is an independent engine under one signed
+// super-root. DML routes by primary key; multi-shard transactions
+// commit through 2PC; `superblock` and `verify-super` replace the
+// single-instance `digest`/`verify` pair.
+func shardedMain(reg *sqlledger.MetricsRegistry, args []string) {
+	db, err := sqlledger.OpenSharded(sqlledger.Options{
+		Dir: *dbDir, Shards: *shards, BlockSize: 1000, Obs: reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "create":
+		if len(rest) < 2 {
+			usage()
+		}
+		name, schema := parseTableSpec(rest)
+		if _, err := db.CreateLedgerTable(name, schema, sqlledger.Updateable); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("created updateable ledger table %s across %d shards (%s)\n", name, db.NumShards(), schema)
+	case "insert", "update":
+		if len(rest) < 2 {
+			usage()
+		}
+		st, err := db.LedgerTable(rest[0])
+		if err != nil {
+			fatal(err)
+		}
+		groups := splitRows(rest[1:])
+		if cmd != "insert" && len(groups) > 1 {
+			fatal(fmt.Errorf("multi-row ';' syntax is only supported for insert"))
+		}
+		tx := db.Begin(*user)
+		for _, g := range groups {
+			row := rowFromArgs(st.Part(0), g)
+			if cmd == "insert" {
+				err = tx.Insert(st, row)
+			} else {
+				err = tx.Update(st, row)
+			}
+			if err != nil {
+				tx.Rollback()
+				fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s ok (%d rows)\n", cmd, len(groups))
+	case "delete":
+		if len(rest) != 2 {
+			usage()
+		}
+		st, err := db.LedgerTable(rest[0])
+		if err != nil {
+			fatal(err)
+		}
+		kv, err := parseValue(st.Part(0).VisibleColumns()[0], rest[1])
+		if err != nil {
+			fatal(err)
+		}
+		tx := db.Begin(*user)
+		if err := tx.Delete(st, kv); err != nil {
+			tx.Rollback()
+			fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("delete ok")
+	case "select":
+		if len(rest) != 1 {
+			usage()
+		}
+		st, err := db.LedgerTable(rest[0])
+		if err != nil {
+			fatal(err)
+		}
+		for _, c := range st.Part(0).VisibleColumns() {
+			fmt.Printf("%-16s", c.Name)
+		}
+		fmt.Println()
+		tx := db.Begin(*user)
+		defer tx.Rollback()
+		if err := tx.Scan(st, func(r sqlledger.Row) bool {
+			for _, v := range r {
+				fmt.Printf("%-16s", v.String())
+			}
+			fmt.Println()
+			return true
+		}); err != nil {
+			fatal(err)
+		}
+	case "superblock":
+		sb, err := db.CloseSuperBlock()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(sb.JSON()))
+		fmt.Fprintf(os.Stderr, "super-root %s over %d shards, public key %x\n",
+			sb.Root, sb.Shards, db.PublicKey())
+	case "verify-super":
+		sb := db.LastSuperBlock()
+		if len(rest) == 1 {
+			b, err := os.ReadFile(rest[0])
+			if err != nil {
+				fatal(err)
+			}
+			if sb, err = sqlledger.ParseSuperBlock(b); err != nil {
+				fatal(err)
+			}
+		} else if len(rest) > 1 {
+			usage()
+		}
+		if sb == nil {
+			fatal(fmt.Errorf("no super-block yet: run `sqlledger -shards %d superblock` first", *shards))
+		}
+		rep, err := sqlledger.VerifySuperBlock(db, sb, db.PublicKey(), sqlledger.VerifyOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep)
+		if !rep.Ok() {
+			os.Exit(1)
+		}
+	default:
+		fatal(fmt.Errorf("command %q is not supported in sharded mode (-shards > 1); "+
+			"supported: create, insert, update, delete, select, superblock, verify-super", cmd))
 	}
 }
 
@@ -226,7 +375,11 @@ commands:
   restore DSTDIR UNIXNANO                point-in-time restore
   serve ADDR [DURATION]                  run the ops HTTP server (/metrics,
                                          /healthz, /debug/ledger, /debug/events,
-                                         /debug/spans, /debug/pprof)`)
+                                         /debug/spans, /debug/pprof)
+sharded mode (-shards N, N > 1):
+  create/insert/update/delete/select     as above, routed by primary key
+  superblock                             close + print a signed super-block (JSON)
+  verify-super [FILE]                    verify every shard against a super-block`)
 	os.Exit(2)
 }
 
@@ -262,10 +415,9 @@ func parseType(s string) (sqlledger.TypeID, error) {
 	}
 }
 
-func cmdCreate(db *sqlledger.DB, args []string) {
-	if len(args) < 2 {
-		usage()
-	}
+// parseTableSpec parses `TABLE col:TYPE[:key|:null]...` arguments into a
+// table name and schema; shared by the plain and sharded create paths.
+func parseTableSpec(args []string) (string, *sqlledger.Schema) {
 	name := args[0]
 	var cols []sqlledger.Column
 	var keys []string
@@ -295,6 +447,14 @@ func cmdCreate(db *sqlledger.DB, args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	return name, schema
+}
+
+func cmdCreate(db *sqlledger.DB, args []string) {
+	if len(args) < 2 {
+		usage()
+	}
+	name, schema := parseTableSpec(args)
 	if _, err := db.CreateLedgerTable(name, schema, sqlledger.Updateable); err != nil {
 		fatal(err)
 	}

@@ -79,6 +79,16 @@ type Options struct {
 	// generation in place of time.Now. A logical clock makes digests
 	// byte-for-byte reproducible across runs; nil uses the wall clock.
 	Clock func() int64
+	// Shards hash-partitions the ledger across N independent engine/core
+	// instances under one signed super-block root (see OpenSharded).
+	// 0 and 1 mean the single-instance layout — byte-compatible with
+	// databases created before sharding existed. Open rejects values
+	// above 1; use OpenSharded for those.
+	Shards int
+	// VersionGCInterval overrides the engine's background version-GC
+	// sweep pace (zero: engine default, 250ms). Sharded opens stagger it
+	// per shard so N instances on one box don't tick in lockstep.
+	VersionGCInterval time.Duration
 }
 
 // System table names.
@@ -215,8 +225,14 @@ func (h *ledgerHook) LoadState(_ []byte) error { return nil }
 
 func (h *ledgerHook) Recovered(entries []*wal.LedgerEntry) { h.recovered = entries }
 
-// Open opens (creating if necessary) a ledger database.
+// Open opens (creating if necessary) a ledger database. Open is the
+// single-instance path: Options.Shards of 0 or 1 keeps today's on-disk
+// layout exactly; a sharded database (Shards > 1) is opened with
+// OpenSharded, which runs this dispatcher once per shard directory.
 func Open(opts Options) (*LedgerDB, error) {
+	if opts.Shards > 1 {
+		return nil, fmt.Errorf("core: Options.Shards=%d requires OpenSharded", opts.Shards)
+	}
 	if opts.BlockSize == 0 {
 		opts.BlockSize = DefaultBlockSize
 	}
@@ -231,13 +247,14 @@ func Open(opts Options) (*LedgerDB, error) {
 	}
 	h := &ledgerHook{}
 	edb, err := engine.Open(engine.Options{
-		Dir:         opts.Dir,
-		Sync:        opts.Sync,
-		GroupCommit: opts.GroupCommit,
-		LockTimeout: opts.LockTimeout,
-		Hook:        h,
-		Obs:         opts.Obs,
-		Clock:       opts.Clock,
+		Dir:               opts.Dir,
+		Sync:              opts.Sync,
+		GroupCommit:       opts.GroupCommit,
+		LockTimeout:       opts.LockTimeout,
+		Hook:              h,
+		Obs:               opts.Obs,
+		Clock:             opts.Clock,
+		VersionGCInterval: opts.VersionGCInterval,
 	})
 	if err != nil {
 		return nil, err

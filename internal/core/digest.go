@@ -143,6 +143,33 @@ func (l *LedgerDB) waitForReplication(targetBlock int64) error {
 	}
 }
 
+// CheckDigest checks that a digest still matches this database's chain:
+// same name and incarnation, and the digest's block is present in
+// sys_ledger_blocks with exactly the hash the digest recorded. It is the
+// cheap point check the sharded super-block reconciliation and
+// verification use to pin each shard head before (or without) a full
+// five-invariant verification.
+func (l *LedgerDB) CheckDigest(d Digest) error {
+	if d.DatabaseName != l.opts.Name {
+		return fmt.Errorf("core: digest names database %q, this is %q", d.DatabaseName, l.opts.Name)
+	}
+	if d.Incarnation != l.incarnation {
+		return fmt.Errorf("core: digest is for incarnation %d, database is at %d (restored?)", d.Incarnation, l.incarnation)
+	}
+	want, err := d.BlockHash()
+	if err != nil {
+		return err
+	}
+	row, ok := l.sysBlocks.Lookup(sqltypes.EncodeKey(nil, sqltypes.NewBigInt(int64(d.BlockID))))
+	if !ok {
+		return fmt.Errorf("core: digest block %d is not closed in this database", d.BlockID)
+	}
+	if blockHashOfRow(row) != want {
+		return fmt.Errorf("core: block %d hash does not match the digest (forked ledger)", d.BlockID)
+	}
+	return nil
+}
+
 // VerifyDigestDerivation checks that digest newer can be derived from
 // digest older using the current block chain (§3.3.1, requirement 3):
 // both digests must match the recomputed hashes of their blocks, and the

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sqlledger/internal/blobstore"
+	"sqlledger/internal/merkle"
+	"sqlledger/internal/obs"
+	"sqlledger/internal/serial"
+)
+
+// The super-block is the sharded ledger's digest of digests (§2.2 scaled
+// out): each shard remains an independent ledger with its own block chain
+// and digests, and the coordinator periodically snapshots the N shard
+// chain heads, builds a Merkle tree over the shard-head hashes, chains
+// the result to the previous super-block and signs it (ed25519). The one
+// signed super-root then protects every shard: an auditor holding a
+// super-block can demand a Merkle proof for any shard's head digest and
+// verify that shard alone, without trusting the other N-1 shards or the
+// coordinator's bookkeeping.
+
+// ShardHead is one shard's chain head inside a super-block. Empty marks a
+// shard that has no closed blocks yet (its digest is zero-valued); the
+// emptiness is part of the signed leaf, so an attacker cannot pass off a
+// truncated shard as never-written.
+type ShardHead struct {
+	Shard  int    `json:"shard"`
+	Empty  bool   `json:"empty,omitempty"`
+	Digest Digest `json:"digest"`
+}
+
+// SuperBlock is a signed digest of all shard digests.
+type SuperBlock struct {
+	DatabaseName string `json:"database_name"`
+	Shards       int    `json:"shards"`
+	// SeqNo numbers super-blocks from 1; PreviousHash chains them
+	// (hex; zero hash for the first).
+	SeqNo        uint64      `json:"seq_no"`
+	PreviousHash string      `json:"previous_hash"`
+	Heads        []ShardHead `json:"heads"`
+	// Root is the hex Merkle root over the shard-head leaf hashes, in
+	// shard order.
+	Root        string `json:"root"`
+	GeneratedAt int64  `json:"generated_at"`
+	// Signature is the ed25519 signature over the super-block hash;
+	// PublicKey is embedded for convenience (auditors should pin the
+	// publicly known key instead of trusting the embedded copy).
+	Signature []byte            `json:"signature"`
+	PublicKey ed25519.PublicKey `json:"public_key"`
+}
+
+// shardHeadLeaf canonicalizes one shard head as a Merkle leaf.
+func shardHeadLeaf(h ShardHead) merkle.Hash {
+	empty := byte(0)
+	if h.Empty {
+		empty = 1
+	}
+	return serial.HashBytes(
+		[]byte("sqlledger-shard-head"),
+		u64le(uint64(h.Shard)),
+		[]byte{empty},
+		[]byte(h.Digest.DatabaseName),
+		u64le(uint64(h.Digest.Incarnation)),
+		u64le(h.Digest.BlockID),
+		[]byte(h.Digest.Hash),
+		u64le(uint64(h.Digest.LastCommitTS)),
+	)
+}
+
+// superBlockHash is the chained identity of a super-block: everything an
+// auditor relies on, bound under a domain tag. The signature covers it.
+func superBlockHash(sb *SuperBlock) merkle.Hash {
+	return serial.HashBytes(
+		[]byte("sqlledger-superblock"),
+		[]byte(sb.DatabaseName),
+		u64le(uint64(sb.Shards)),
+		u64le(sb.SeqNo),
+		[]byte(sb.PreviousHash),
+		[]byte(sb.Root),
+		u64le(uint64(sb.GeneratedAt)),
+	)
+}
+
+// Hash returns the super-block's chained hash.
+func (sb *SuperBlock) Hash() merkle.Hash { return superBlockHash(sb) }
+
+// headLeaves computes the per-shard leaf hashes in shard order.
+func (sb *SuperBlock) headLeaves() []merkle.Hash {
+	leaves := make([]merkle.Hash, len(sb.Heads))
+	for i, h := range sb.Heads {
+		leaves[i] = shardHeadLeaf(h)
+	}
+	return leaves
+}
+
+// JSON renders the super-block as a JSON document.
+func (sb *SuperBlock) JSON() []byte {
+	b, err := json.Marshal(sb)
+	if err != nil {
+		panic(fmt.Sprintf("core: super-block marshal: %v", err))
+	}
+	return b
+}
+
+// ParseSuperBlock parses a super-block document.
+func ParseSuperBlock(b []byte) (*SuperBlock, error) {
+	sb := new(SuperBlock)
+	if err := json.Unmarshal(b, sb); err != nil {
+		return nil, fmt.Errorf("core: bad super-block: %w", err)
+	}
+	return sb, nil
+}
+
+// CheckSuperBlock verifies a super-block's internal consistency and its
+// signature under pub: the Merkle root must equal the root recomputed
+// from the shard heads, and the signature must cover the super-block
+// hash. It does not touch any shard data — use VerifySuperBlock for that.
+func CheckSuperBlock(sb *SuperBlock, pub ed25519.PublicKey) error {
+	if len(sb.Heads) != sb.Shards {
+		return fmt.Errorf("core: super-block lists %d heads for %d shards", len(sb.Heads), sb.Shards)
+	}
+	for i, h := range sb.Heads {
+		if h.Shard != i {
+			return fmt.Errorf("core: super-block head %d claims shard %d", i, h.Shard)
+		}
+	}
+	root := merkle.RootOf(sb.headLeaves())
+	if root.String() != sb.Root {
+		return fmt.Errorf("core: super-block root does not match its shard heads")
+	}
+	hash := superBlockHash(sb)
+	if !ed25519.Verify(pub, hash[:], sb.Signature) {
+		return fmt.Errorf("core: super-block signature is invalid")
+	}
+	return nil
+}
+
+// ShardProof extracts the Merkle proof that shard's head digest is
+// covered by the super-block root. Together with the signed root it lets
+// an auditor verify a single shard without the other N-1.
+func ShardProof(sb *SuperBlock, shard int) (merkle.Proof, error) {
+	if shard < 0 || shard >= len(sb.Heads) {
+		return merkle.Proof{}, fmt.Errorf("core: no shard %d in super-block", shard)
+	}
+	return merkle.BuildProof(sb.headLeaves(), uint64(shard))
+}
+
+// superBlockFile is the coordinator's watermark: the latest super-block,
+// persisted in the sharded database's root directory and reconciled at
+// open — every shard must still contain the exact block each signed head
+// describes, or the open fails loudly (a shard was forked or rolled back
+// behind the last signed state).
+const superBlockFile = "superblock.json"
+
+// CloseSuperBlock snapshots every shard's chain head (generating a fresh
+// digest per shard, in shard order), builds the Merkle tree over the
+// heads, chains and signs the result, and persists it as the new
+// watermark. Digest generation is sequential on purpose: closing a block
+// draws a close timestamp from the shared clock into the block hash, so
+// under a logical clock a fixed shard order is what makes identical
+// ingest histories land on the identical super-root. Shards with no
+// transactions yet appear as Empty heads, so a super-block can be closed
+// at any point in the database's life.
+func (s *ShardedDB) CloseSuperBlock() (sb *SuperBlock, err error) {
+	start := time.Now()
+	defer func() {
+		if err == nil {
+			s.m.superSeconds.ObserveSince(start)
+			s.m.superClosed.Inc()
+		}
+	}()
+	s.smu.Lock()
+	defer s.smu.Unlock()
+
+	heads := make([]ShardHead, len(s.shards))
+	for i, shard := range s.shards {
+		d, derr := shard.GenerateDigest()
+		switch {
+		case derr == ErrEmptyLedger:
+			heads[i] = ShardHead{Shard: i, Empty: true}
+		case derr != nil:
+			return nil, fmt.Errorf("core: shard %d digest: %w", i, derr)
+		default:
+			heads[i] = ShardHead{Shard: i, Digest: d}
+		}
+	}
+
+	seq, prev := uint64(1), merkle.ZeroHash.String()
+	if s.lastSuper != nil {
+		seq = s.lastSuper.SeqNo + 1
+		prev = s.lastSuper.Hash().String()
+	}
+	sb = &SuperBlock{
+		DatabaseName: s.opts.Name,
+		Shards:       len(s.shards),
+		SeqNo:        seq,
+		PreviousHash: prev,
+		Heads:        heads,
+		GeneratedAt:  s.nowNanos(),
+		PublicKey:    append(ed25519.PublicKey(nil), s.priv.Public().(ed25519.PublicKey)...),
+	}
+	sb.Root = merkle.RootOf(sb.headLeaves()).String()
+	hash := superBlockHash(sb)
+	sb.Signature = ed25519.Sign(s.priv, hash[:])
+
+	if err := s.saveWatermark(sb); err != nil {
+		return nil, err
+	}
+	s.lastSuper = sb
+	s.updateImbalance()
+	s.obs.Events().Info(obs.EventSuperBlockClosed,
+		"seq", sb.SeqNo, "shards", sb.Shards, "root", sb.Root)
+	return sb, nil
+}
+
+// saveWatermark persists the super-block atomically (tmp + rename).
+func (s *ShardedDB) saveWatermark(sb *SuperBlock) error {
+	path := filepath.Join(s.opts.Dir, superBlockFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, sb.JSON(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadWatermark reads the persisted super-block, if any.
+func loadWatermark(dir string) (*SuperBlock, error) {
+	b, err := os.ReadFile(filepath.Join(dir, superBlockFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ParseSuperBlock(b)
+}
+
+// superBlobName builds the blob path for a super-block: the super chain
+// lives under "<db>/super/", beside the per-shard digest namespaces.
+func superBlobName(dbName string, seq uint64) string {
+	return fmt.Sprintf("%s/super/block-%016d.json", dbName, seq)
+}
+
+// UploadSuperBlock closes a super-block and stores it in immutable
+// storage, enforcing the same immutability rule as per-shard digest
+// uploads: a slot can only ever hold one super-block, and finding a
+// different one there means the sharded ledger forked.
+func (s *ShardedDB) UploadSuperBlock(store blobstore.Store) (*SuperBlock, error) {
+	store = blobstore.Instrument(store, s.obs)
+	sb, err := s.CloseSuperBlock()
+	if err != nil {
+		return nil, err
+	}
+	name := superBlobName(sb.DatabaseName, sb.SeqNo)
+	if err := store.Put(name, sb.JSON()); err != nil {
+		if b, gerr := store.Get(name); gerr == nil {
+			prev, perr := ParseSuperBlock(b)
+			if perr == nil && prev.Root == sb.Root && prev.SeqNo == sb.SeqNo {
+				return prev, nil
+			}
+			return nil, fmt.Errorf("core: immutable store already holds a DIFFERENT super-block %d — forked ledger", sb.SeqNo)
+		}
+		return nil, err
+	}
+	return sb, nil
+}
+
+// ShardReport is one shard's slice of a sharded verification.
+type ShardReport struct {
+	Shard int
+	// HeadErr is non-nil when the shard's current chain no longer
+	// matches the signed head digest (or its super-block proof fails) —
+	// the super-block check that localizes tampering to a shard even
+	// before row-level verification runs.
+	HeadErr error
+	// Report is the shard's full five-invariant verification report
+	// (nil when the shard was empty at super-block time and is skipped).
+	Report *Report
+}
+
+// ShardedReport aggregates per-shard verification results.
+type ShardedReport struct {
+	Shards []ShardReport
+}
+
+// Ok reports whether every shard passed both the super-block head check
+// and its own verification.
+func (r *ShardedReport) Ok() bool {
+	for _, sr := range r.Shards {
+		if sr.HeadErr != nil {
+			return false
+		}
+		if sr.Report != nil && !sr.Report.Ok() {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *ShardedReport) String() string {
+	out := ""
+	for _, sr := range r.Shards {
+		out += fmt.Sprintf("shard %03d: ", sr.Shard)
+		switch {
+		case sr.HeadErr != nil:
+			out += "FAILED head check: " + sr.HeadErr.Error()
+		case sr.Report == nil:
+			out += "empty, skipped"
+		default:
+			out += sr.Report.String()
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// VerifySuperBlock verifies the sharded ledger against a signed
+// super-block: the signature and Merkle root are checked first, then each
+// shard is verified in parallel — its head digest must carry a valid
+// Merkle proof under the super-root, the shard's chain must still contain
+// the exact block the head describes, and the shard's full verification
+// (all five invariants) must pass against that digest. A tampered shard
+// fails alone; the report localizes the damage while clean shards verify
+// green.
+func VerifySuperBlock(s *ShardedDB, sb *SuperBlock, pub ed25519.PublicKey, opts VerifyOptions) (*ShardedReport, error) {
+	if err := CheckSuperBlock(sb, pub); err != nil {
+		return nil, err
+	}
+	if sb.Shards != len(s.shards) {
+		return nil, fmt.Errorf("core: super-block covers %d shards, database has %d", sb.Shards, len(s.shards))
+	}
+	root, err := merkle.ParseHash(sb.Root)
+	if err != nil {
+		return nil, err
+	}
+	leaves := sb.headLeaves()
+	proofs, err := merkle.BuildProofs(leaves, allIndices(len(leaves)))
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ShardedReport{Shards: make([]ShardReport, len(s.shards))}
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sr := &rep.Shards[i]
+			sr.Shard = i
+			head := sb.Heads[i]
+			if !proofs[i].Verify(root, leaves[i]) {
+				sr.HeadErr = fmt.Errorf("core: shard %d head proof does not verify under the super-root", i)
+				return
+			}
+			if head.Empty {
+				return
+			}
+			if err := s.shards[i].CheckDigest(head.Digest); err != nil {
+				sr.HeadErr = err
+				return
+			}
+			rep, verr := s.shards[i].Verify([]Digest{head.Digest}, opts)
+			sr.Report = rep
+			if verr != nil {
+				sr.HeadErr = verr
+			}
+		}(i)
+	}
+	wg.Wait()
+	return rep, nil
+}
+
+func allIndices(n int) []uint64 {
+	ix := make([]uint64, n)
+	for i := range ix {
+		ix[i] = uint64(i)
+	}
+	return ix
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"sqlledger/internal/wal"
+)
+
+// Cross-shard transaction coordination. A transaction touching more than
+// one shard commits with two-phase commit over the per-shard WALs: every
+// participating shard durably prepares (engine.Prepare), the coordinator
+// makes the commit decision durable in its own decision log, and then the
+// participants are committed (engine.CommitPrepared). The protocol is
+// presumed-abort: only COMMIT decisions are logged, so a prepared
+// transaction found without one after a crash is aborted.
+//
+// The decision log is deliberately tiny — one line per committed
+// cross-shard transaction ("C <gid>") — because single-shard transactions
+// (the common case under hash partitioning) bypass it entirely.
+
+// decisionLogName is the coordinator's commit-decision log, stored in the
+// sharded database's root directory next to the shard subdirectories.
+const decisionLogName = "2pc.log"
+
+type decisionLog struct {
+	mu   sync.Mutex // serializes concurrent cross-shard coordinators
+	f    *os.File
+	w    *bufio.Writer
+	sync bool // fsync every decision (wal.SyncFull)
+
+	committed map[uint64]bool
+	maxGid    uint64
+}
+
+// openDecisionLog opens (creating if necessary) the decision log and
+// replays it. A torn final line — a crash mid-write — is ignored: the
+// decision was not durable, so presumed-abort applies.
+func openDecisionLog(dir string, mode wal.SyncMode) (*decisionLog, error) {
+	path := dir + string(os.PathSeparator) + decisionLogName
+	b, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	dl := &decisionLog{
+		sync:      mode == wal.SyncFull,
+		committed: make(map[uint64]bool),
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		rest, ok := strings.CutPrefix(line, "C ")
+		if !ok {
+			continue // empty trailer or torn tail
+		}
+		gid, perr := strconv.ParseUint(rest, 10, 64)
+		if perr != nil {
+			continue // torn tail
+		}
+		dl.committed[gid] = true
+		if gid > dl.maxGid {
+			dl.maxGid = gid
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	dl.f = f
+	dl.w = bufio.NewWriter(f)
+	return dl, nil
+}
+
+// commit makes a COMMIT decision durable. Once it returns, recovery will
+// commit every prepared participant of gid; before it returns, recovery
+// aborts them. Concurrent cross-shard coordinators serialize here.
+func (dl *decisionLog) commit(gid uint64) error {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	if _, err := fmt.Fprintf(dl.w, "C %d\n", gid); err != nil {
+		return err
+	}
+	if err := dl.w.Flush(); err != nil {
+		return err
+	}
+	if dl.sync {
+		if err := dl.f.Sync(); err != nil {
+			return err
+		}
+	}
+	dl.committed[gid] = true
+	if gid > dl.maxGid {
+		dl.maxGid = gid
+	}
+	return nil
+}
+
+func (dl *decisionLog) Close() error {
+	if dl == nil || dl.f == nil {
+		return nil
+	}
+	dl.w.Flush()
+	return dl.f.Close()
+}
+
+// resolveInDoubt finishes transactions a shard recovered in the prepared
+// state: committed gids (per the coordinator's decision log) complete,
+// everything else is presumed aborted. Runs single-threaded at open,
+// before user traffic starts.
+func (l *LedgerDB) resolveInDoubt(committed map[uint64]bool) (maxGid uint64, err error) {
+	for _, etx := range l.edb.PreparedTxs() {
+		gid := etx.Gid()
+		if gid > maxGid {
+			maxGid = gid
+		}
+		if committed[gid] {
+			_, err = l.edb.CommitPrepared(etx)
+		} else {
+			err = l.edb.AbortPrepared(etx)
+		}
+		if err != nil {
+			return maxGid, fmt.Errorf("core: resolving in-doubt gid %d: %w", gid, err)
+		}
+	}
+	return maxGid, nil
+}

@@ -437,19 +437,7 @@ func (tx *Tx) Commit() error {
 
 // CommitTS is Commit returning the commit timestamp.
 func (tx *Tx) CommitTS() (int64, error) {
-	if st := tx.state; st != nil {
-		roots := st.roots[:0]
-		for tid, tr := range st.trees {
-			if tr.Count() > 0 {
-				roots = append(roots, wal.TableRoot{TableID: tid, Root: tr.Root()})
-			}
-		}
-		slices.SortFunc(roots, func(a, b wal.TableRoot) int { return cmp.Compare(a.TableID, b.TableID) })
-		st.roots = roots
-		if len(roots) > 0 {
-			tx.etx.Roots = roots
-		}
-	}
+	tx.finalizeRoots()
 	ts, err := tx.l.edb.Commit(tx.etx)
 	if err == nil {
 		// A failed commit leaves the engine transaction open; Rollback
@@ -457,6 +445,52 @@ func (tx *Tx) CommitTS() (int64, error) {
 		tx.releaseState()
 	}
 	return ts, err
+}
+
+// finalizeRoots computes the sorted per-table Merkle roots and installs
+// them on the engine transaction — the last ledger step before the engine
+// sees the commit (or the prepare, on the cross-shard path).
+func (tx *Tx) finalizeRoots() {
+	st := tx.state
+	if st == nil {
+		return
+	}
+	roots := st.roots[:0]
+	for tid, tr := range st.trees {
+		if tr.Count() > 0 {
+			roots = append(roots, wal.TableRoot{TableID: tid, Root: tr.Root()})
+		}
+	}
+	slices.SortFunc(roots, func(a, b wal.TableRoot) int { return cmp.Compare(a.TableID, b.TableID) })
+	st.roots = roots
+	if len(roots) > 0 {
+		tx.etx.Roots = roots
+	}
+}
+
+// prepare runs 2PC phase 1 on this participant: finalize the Merkle
+// roots, then durably log the write set plus a PREPARE record carrying
+// gid. Locks stay held; the ledger state stays allocated until the
+// decision is applied.
+func (tx *Tx) prepare(gid uint64) error {
+	tx.finalizeRoots()
+	return tx.l.edb.Prepare(tx.etx, gid)
+}
+
+// commitPrepared applies a commit decision to a prepared participant.
+func (tx *Tx) commitPrepared() (int64, error) {
+	ts, err := tx.l.edb.CommitPrepared(tx.etx)
+	if err == nil {
+		tx.releaseState()
+	}
+	return ts, err
+}
+
+// abortPrepared applies an abort decision to a prepared participant.
+func (tx *Tx) abortPrepared() error {
+	err := tx.l.edb.AbortPrepared(tx.etx)
+	tx.releaseState()
+	return err
 }
 
 // Rollback abandons the transaction.

@@ -62,6 +62,11 @@ type Options struct {
 	// reproducible across runs, which equivalence tests and benchmarks
 	// rely on. nil uses the wall clock.
 	Clock func() int64
+	// VersionGCInterval paces the background sweep that reclaims row
+	// versions older than the oldest active snapshot; zero keeps the
+	// default (250ms). Sharded deployments stagger this so N engine
+	// instances on one box don't all tick in lockstep.
+	VersionGCInterval time.Duration
 }
 
 // DB is an embedded relational database.
@@ -114,6 +119,16 @@ type DB struct {
 	gcDone     chan struct{}
 	gcStopOnce sync.Once
 
+	// inDoubt holds transactions that were prepared (RecPrepare durable)
+	// but neither committed nor aborted when the log ends — the 2PC
+	// coordinator above resolves them via PreparedTxs + CommitPrepared /
+	// AbortPrepared after recovery. Keyed by global transaction id.
+	inDoubt map[uint64]*Tx
+	// preparedCount tracks live prepared transactions (in-doubt ones
+	// included); Checkpoint refuses while any exist, because a snapshot
+	// would strand their PREPARE records behind the checkpoint LSN.
+	preparedCount atomic.Int64
+
 	checkpointLSN int64
 	closed        bool
 
@@ -163,6 +178,9 @@ func Open(opts Options) (*DB, error) {
 	if opts.LockTimeout == 0 {
 		opts.LockTimeout = 2 * time.Second
 	}
+	if opts.VersionGCInterval == 0 {
+		opts.VersionGCInterval = versionGCInterval
+	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: mkdir: %w", err)
 	}
@@ -184,6 +202,7 @@ func Open(opts Options) (*DB, error) {
 		locks:    newLockTable(opts.Obs),
 		snaps:    make(map[uint64]int64),
 		inflight: make(map[int64]struct{}),
+		inDoubt:  make(map[uint64]*Tx),
 		gcStop:   make(chan struct{}),
 		gcDone:   make(chan struct{}),
 		obs:      opts.Obs,
@@ -717,6 +736,10 @@ func (db *DB) recover() error {
 	defer reader.Close()
 
 	pending := make(map[uint64][]writeOp)
+	// preparedAt maps a transaction id to its decoded PREPARE payload;
+	// a later COMMIT or ABORT record resolves it, anything left at the
+	// end of the log is in doubt.
+	preparedAt := make(map[uint64]wal.PreparePayload)
 	var entries []*wal.LedgerEntry
 	maxTx := uint64(0)
 	records := 0
@@ -754,8 +777,16 @@ func (db *DB) recover() error {
 			if p.Entry != nil {
 				entries = append(entries, p.Entry)
 			}
+			delete(preparedAt, rec.TxID)
 		case wal.RecAbort:
 			delete(pending, rec.TxID)
+			delete(preparedAt, rec.TxID)
+		case wal.RecPrepare:
+			p, err := wal.DecodePrepare(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("engine: recovery prepare: %w", err)
+			}
+			preparedAt[rec.TxID] = p
 		case wal.RecDDL:
 			p, err := wal.DecodeDDL(rec.Payload)
 			if err != nil {
@@ -776,6 +807,26 @@ func (db *DB) recover() error {
 	}
 	if maxTx >= db.cat.NextTxID {
 		db.cat.NextTxID = maxTx + 1
+	}
+	// Reconstruct in-doubt transactions: prepared but undecided at the end
+	// of the log. Their writes stay out of shared storage until the 2PC
+	// coordinator resolves them (presumed abort when it has no decision).
+	// Recovery is single-threaded, so no row locks are needed to keep the
+	// write sets isolated until resolution.
+	for txID, p := range preparedAt {
+		tx := &Tx{
+			db:       db,
+			id:       txID,
+			user:     p.User,
+			writes:   pending[txID],
+			Roots:    p.Roots,
+			prepared: true,
+			gid:      p.Gid,
+			inDoubt:  true,
+		}
+		delete(pending, txID)
+		db.inDoubt[p.Gid] = tx
+		db.preparedCount.Add(1)
 	}
 	// Replay applies every committed transaction synchronously, so the
 	// applied-through watermark starts flush with the last commit.

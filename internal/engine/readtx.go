@@ -110,8 +110,9 @@ func (rtx *ReadTx) Close() {
 
 // --- Version GC --------------------------------------------------------
 
-// versionGCInterval paces the background sweep that reclaims row versions
-// older than the oldest active snapshot.
+// versionGCInterval is the default pace of the background sweep that
+// reclaims row versions older than the oldest active snapshot; override
+// it per instance with Options.VersionGCInterval.
 const versionGCInterval = 250 * time.Millisecond
 
 // gcHorizon returns the timestamp below which superseded versions are
@@ -163,7 +164,7 @@ func (db *DB) GCVersions() int {
 // Close (before Close quiesces, to avoid a lock cycle).
 func (db *DB) versionGCLoop() {
 	defer close(db.gcDone)
-	tick := time.NewTicker(versionGCInterval)
+	tick := time.NewTicker(db.opts.VersionGCInterval)
 	defer tick.Stop()
 	for {
 		select {

@@ -44,6 +44,13 @@ func (db *DB) Checkpoint() (int64, error) {
 	if db.closed {
 		return 0, fmt.Errorf("engine: database closed")
 	}
+	// A prepared-but-undecided transaction lives only in the WAL: a
+	// snapshot taken now would move the redo start past its PREPARE and
+	// DML records and lose it. The window is the few microseconds between
+	// the 2PC phases, so refusing (rather than waiting) keeps this simple.
+	if n := db.preparedCount.Load(); n > 0 {
+		return 0, fmt.Errorf("engine: checkpoint refused: %d prepared transaction(s) outstanding", n)
+	}
 	if db.opts.Hook != nil {
 		db.opts.Hook.BeforeSnapshot()
 	}

@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sqlledger/internal/sqltypes"
+)
+
+// TestPrepareCommitPrepared drives one participant through the happy 2PC
+// path: prepared writes are invisible and locked, Checkpoint refuses
+// while anything is prepared, and CommitPrepared applies the writes
+// through the ordinary pipeline tail.
+func TestPrepareCommitPrepared(t *testing.T) {
+	db := openTestDB(t)
+	tab := mustCreate(t, db, "t", kvSchema())
+
+	tx := db.Begin("u")
+	if _, err := tx.Insert(tab, kv(1, "staged")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Prepare(tx, 42); err != nil {
+		t.Fatal(err)
+	}
+	if got := tx.Gid(); got != 42 {
+		t.Fatalf("Gid = %d, want 42", got)
+	}
+	if err := db.Prepare(tx, 43); err == nil {
+		t.Fatal("double prepare succeeded")
+	}
+
+	// Prepared but undecided: not visible to other transactions, and the
+	// row lock is still held.
+	other := db.Begin("v")
+	if _, ok, _ := other.Get(tab, sqltypes.NewBigInt(1)); ok {
+		t.Fatal("prepared write visible before decision")
+	}
+	if _, err := other.Insert(tab, kv(1, "conflict")); err == nil {
+		t.Fatal("conflicting insert acquired a prepared row's lock")
+	}
+	other.Rollback()
+
+	// A snapshot between the phases would strand the PREPARE record.
+	if _, err := db.Checkpoint(); err == nil || !strings.Contains(err.Error(), "prepared") {
+		t.Fatalf("Checkpoint during prepare = %v, want refusal", err)
+	}
+
+	ts, err := db.CommitPrepared(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts <= 0 {
+		t.Fatalf("commit ts = %d", ts)
+	}
+	reader := db.Begin("v")
+	if v, ok := getVal(t, reader, tab, 1); !ok || v != "staged" {
+		t.Fatalf("after CommitPrepared: (%q, %v)", v, ok)
+	}
+	reader.Rollback()
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after decision: %v", err)
+	}
+}
+
+func getVal(t *testing.T, tx *Tx, tab *Table, k int64) (string, bool) {
+	t.Helper()
+	row, ok, err := tx.Get(tab, sqltypes.NewBigInt(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		return "", false
+	}
+	return row[1].Str, true
+}
+
+// TestPrepareAbortPrepared: an abort decision discards the write set and
+// releases the locks.
+func TestPrepareAbortPrepared(t *testing.T) {
+	db := openTestDB(t)
+	tab := mustCreate(t, db, "t", kvSchema())
+
+	tx := db.Begin("u")
+	if _, err := tx.Insert(tab, kv(7, "doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Prepare(tx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AbortPrepared(tx); err != nil {
+		t.Fatal(err)
+	}
+	// The write is gone and the lock is free.
+	w := db.Begin("v")
+	if _, ok, _ := w.Get(tab, sqltypes.NewBigInt(7)); ok {
+		t.Fatal("aborted prepared write visible")
+	}
+	if _, err := w.Insert(tab, kv(7, "winner")); err != nil {
+		t.Fatalf("lock not released after AbortPrepared: %v", err)
+	}
+	commit(t, db, w)
+}
+
+// TestPreparedRecoversInDoubt: a prepared-but-undecided transaction
+// survives a restart as an in-doubt transaction, invisible until the
+// coordinator resolves it; both resolutions work after recovery.
+func TestPreparedRecoversInDoubt(t *testing.T) {
+	for _, decide := range []string{"commit", "abort"} {
+		t.Run(decide, func(t *testing.T) {
+			dir := t.TempDir()
+			db, err := Open(Options{Dir: dir, LockTimeout: 250 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab := mustCreate(t, db, "t", kvSchema())
+			tx := db.Begin("u")
+			if _, err := tx.Insert(tab, kv(5, "indoubt")); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Prepare(tx, 99); err != nil {
+				t.Fatal(err)
+			}
+			// Crash with the decision unmade.
+			db.Close()
+
+			db2 := openDBAt(t, dir)
+			tab2, err := db2.Table("t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			prepared := db2.PreparedTxs()
+			if len(prepared) != 1 || prepared[0].Gid() != 99 {
+				t.Fatalf("PreparedTxs after recovery = %v", prepared)
+			}
+			// In-doubt writes stay invisible.
+			r := db2.Begin("v")
+			if _, ok, _ := r.Get(tab2, sqltypes.NewBigInt(5)); ok {
+				t.Fatal("in-doubt write visible after recovery")
+			}
+			r.Rollback()
+			if _, err := db2.Checkpoint(); err == nil {
+				t.Fatal("Checkpoint allowed with in-doubt transactions outstanding")
+			}
+
+			itx := prepared[0]
+			if decide == "commit" {
+				if _, err := db2.CommitPrepared(itx); err != nil {
+					t.Fatal(err)
+				}
+				r := db2.Begin("v")
+				if v, ok := getVal(t, r, tab2, 5); !ok || v != "indoubt" {
+					t.Fatalf("after recovered commit: (%q, %v)", v, ok)
+				}
+				r.Rollback()
+			} else {
+				if err := db2.AbortPrepared(itx); err != nil {
+					t.Fatal(err)
+				}
+				r := db2.Begin("v")
+				if _, ok, _ := r.Get(tab2, sqltypes.NewBigInt(5)); ok {
+					t.Fatal("aborted in-doubt write visible")
+				}
+				r.Rollback()
+			}
+			if len(db2.PreparedTxs()) != 0 {
+				t.Fatal("in-doubt set not drained after resolution")
+			}
+			if _, err := db2.Checkpoint(); err != nil {
+				t.Fatalf("Checkpoint after resolution: %v", err)
+			}
+
+			// The decision itself must survive another restart.
+			db2.Close()
+			db3 := openDBAt(t, dir)
+			tab3, err := db3.Table("t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			r = db3.Begin("v")
+			_, ok, _ := r.Get(tab3, sqltypes.NewBigInt(5))
+			r.Rollback()
+			if want := decide == "commit"; ok != want {
+				t.Fatalf("after second restart, row present=%v, want %v", ok, want)
+			}
+		})
+	}
+}
+
+// TestReadOnlyPrepare: a participant with no writes prepares and decides
+// trivially, logging nothing.
+func TestReadOnlyPrepare(t *testing.T) {
+	db := openTestDB(t)
+	before := db.LogSize()
+	tx := db.Begin("u")
+	if err := db.Prepare(tx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CommitPrepared(tx); err != nil {
+		t.Fatal(err)
+	}
+	if after := db.LogSize(); after != before {
+		t.Fatalf("read-only prepare grew the WAL by %d bytes", after-before)
+	}
+}
+
+// TestVersionGCIntervalOption pins the Options.VersionGCInterval knob: a
+// fast custom interval reclaims superseded versions in the background
+// without any explicit GC call, while an effectively-infinite interval
+// leaves them in place over the same window.
+func TestVersionGCIntervalOption(t *testing.T) {
+	makeGarbage := func(db *DB) *Table {
+		tab := mustCreate(t, db, "t", kvSchema())
+		tx := db.Begin("u")
+		if _, err := tx.Insert(tab, kv(1, "v0")); err != nil {
+			t.Fatal(err)
+		}
+		commit(t, db, tx)
+		for i := 0; i < 5; i++ {
+			tx := db.Begin("u")
+			if _, err := tx.Update(tab, kv(1, "v")); err != nil {
+				t.Fatal(err)
+			}
+			commit(t, db, tx)
+		}
+		return tab
+	}
+
+	fast, err := Open(Options{Dir: t.TempDir(), VersionGCInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	tab := makeGarbage(fast)
+	deadline := time.Now().Add(5 * time.Second)
+	for tab.VersionCount() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background GC at 2ms interval left %d versions after 5s", tab.VersionCount())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	slow, err := Open(Options{Dir: t.TempDir(), VersionGCInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	tab = makeGarbage(slow)
+	// Give a would-be default sweeper (250ms) ample time to fire.
+	time.Sleep(400 * time.Millisecond)
+	if n := tab.VersionCount(); n != 6 {
+		t.Fatalf("1h-interval sweeper reclaimed early: %d versions, want 6", n)
+	}
+	if slow.opts.VersionGCInterval != time.Hour {
+		t.Fatalf("interval not honored: %v", slow.opts.VersionGCInterval)
+	}
+}

@@ -37,6 +37,16 @@ type Tx struct {
 
 	savepoints []savepoint
 
+	// prepared marks the transaction as phase-1 complete in a cross-shard
+	// two-phase commit: its DML and PREPARE records are durable, its row
+	// locks stay held, and only CommitPrepared or AbortPrepared may finish
+	// it (twopc.go). gid is the coordinator's global transaction id.
+	prepared bool
+	gid      uint64
+	// inDoubt marks a transaction reconstructed by recovery; resolving it
+	// removes it from db.inDoubt (single-threaded, during open).
+	inDoubt bool
+
 	// Roots is filled by the ledger core before commit with the per-table
 	// Merkle roots of the row versions this transaction updated.
 	Roots []wal.TableRoot

@@ -53,6 +53,17 @@ const (
 	VerifyPhaseSeconds    = "sqlledger_verify_phase_seconds" // label: phase
 	VerifyProgressRatio   = "sqlledger_verify_progress_ratio"
 
+	// Sharded ledger (internal/core/shard.go, superblock.go). Per-shard
+	// series carry a shard="NNN" label. ShardImbalanceRatio is
+	// max(per-shard rows)/mean(per-shard rows) since open — 1.0 is a
+	// perfectly balanced hash partition.
+	ShardCommitsTotal      = "sqlledger_shard_commits_total"
+	ShardIngestRowsTotal   = "sqlledger_shard_ingest_rows_total"
+	ShardImbalanceRatio    = "sqlledger_shard_imbalance_ratio"
+	CrossShardTxTotal      = "sqlledger_cross_shard_tx_total"
+	SuperblockCloseSeconds = "sqlledger_superblock_close_seconds"
+	SuperblocksClosedTotal = "sqlledger_superblocks_closed_total"
+
 	// Health (internal/core): 0 healthy, 1 degraded, 2 unhealthy.
 	HealthStatus = "sqlledger_health_status"
 

@@ -37,6 +37,12 @@ const (
 	RecAbort
 	RecCheckpoint
 	RecDDL
+	// RecPrepare marks a transaction as prepared under a global (cross-
+	// shard) transaction id: its DML records are durable but the commit
+	// decision belongs to the 2PC coordinator. A later RecCommit or
+	// RecAbort for the same transaction resolves it; neither means the
+	// transaction is in doubt at recovery.
+	RecPrepare
 )
 
 // String names the record type.
@@ -58,6 +64,8 @@ func (t RecordType) String() string {
 		return "CHECKPOINT"
 	case RecDDL:
 		return "DDL"
+	case RecPrepare:
+		return "PREPARE"
 	}
 	return fmt.Sprintf("REC(%d)", byte(t))
 }
@@ -232,7 +240,7 @@ func (l *Log) appendLocked(t RecordType, txID uint64, payload []byte) (int64, er
 	if err != nil {
 		return 0, err
 	}
-	if t == RecCommit || t == RecCheckpoint {
+	if t == RecCommit || t == RecCheckpoint || t == RecPrepare {
 		if err := l.flushLocked(); err != nil {
 			return 0, err
 		}

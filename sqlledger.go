@@ -88,6 +88,26 @@ type (
 	// SignedDigest is a digest signed with an organization's key (§2.4).
 	SignedDigest = core.SignedDigest
 
+	// ShardedDB is a ledger database hash-partitioned across N shard
+	// instances — independent engines, WALs and block chains — under one
+	// signed super-root (Options.Shards, OpenSharded).
+	ShardedDB = core.ShardedDB
+	// ShardedTx is a transaction over a sharded database: single-shard
+	// transactions commit through the ordinary pipeline, cross-shard ones
+	// with two-phase commit.
+	ShardedTx = core.ShardedTx
+	// ShardedTable is a ledger table partitioned across every shard.
+	ShardedTable = core.ShardedTable
+	// SuperBlock is the sharded ledger's digest of digests: a signed
+	// Merkle root over the per-shard chain heads.
+	SuperBlock = core.SuperBlock
+	// ShardHead is one shard's chain head inside a super-block.
+	ShardHead = core.ShardHead
+	// ShardedReport aggregates per-shard verification results.
+	ShardedReport = core.ShardedReport
+	// ShardReport is one shard's slice of a sharded verification.
+	ShardReport = core.ShardReport
+
 	// Options configures Open.
 	Options = core.Options
 	// GroupCommitOptions tunes the WAL group committer
@@ -202,6 +222,23 @@ const DefaultBlockSize = core.DefaultBlockSize
 
 // Open opens (creating if necessary) a ledger database.
 func Open(opts Options) (*DB, error) { return core.Open(opts) }
+
+// OpenSharded opens (creating if necessary) a sharded ledger database:
+// Options.Shards engine instances under one signed super-root.
+// Shards <= 1 keeps the single-instance on-disk layout.
+func OpenSharded(opts Options) (*ShardedDB, error) { return core.OpenSharded(opts) }
+
+// ParseSuperBlock parses a super-block JSON document.
+func ParseSuperBlock(b []byte) (*SuperBlock, error) { return core.ParseSuperBlock(b) }
+
+// CheckSuperBlock verifies a super-block's internal consistency and its
+// ed25519 signature (no shard data is touched).
+var CheckSuperBlock = core.CheckSuperBlock
+
+// VerifySuperBlock verifies a sharded database against a signed
+// super-block, shard-parallel: each shard's head digest is proof-checked
+// under the super-root, then the shard is fully verified against it.
+var VerifySuperBlock = core.VerifySuperBlock
 
 // NewMetricsRegistry returns an enabled metrics registry to pass as
 // Options.Obs (share one across databases to aggregate their metrics).
