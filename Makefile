@@ -95,6 +95,23 @@ test-race-read:
 	go test -race ./internal/core/ -run 'ReadReceipt'
 	go test -race . -run 'ReadScaling'
 
+# Race-enabled always-on auditor tests: the background audit loop runs
+# concurrently with live committers, watermark saves race reopen, and the
+# sharded fan-out re-checks every shard head per cycle — prove the whole
+# surface race-free, including the ops endpoints it feeds.
+.PHONY: test-race-audit
+test-race-audit:
+	go test -race ./internal/core/ -run 'Auditor|AuditOps|ShardedOps'
+
+# Auditor cost model: the incremental cycle must stay flat as ledger depth
+# grows (the O(K) result — N=64 vs N=512 with the same K=8 delta), plus
+# the sampled cold-history sweep and the ledgerbench comparison table
+# (full verify vs. catch-up vs. incremental vs. sampled).
+.PHONY: bench-audit
+bench-audit:
+	go test -run - -bench 'BenchmarkAudit' -benchmem .
+	go run ./cmd/ledgerbench -exp audit
+
 # Race-enabled sharded-ledger audit: the engine's two-phase commit
 # (prepare/commit/abort and in-doubt recovery), cross-shard transactions
 # hammering the coordinator's decision log, and super-block closes racing
@@ -114,4 +131,4 @@ bench-shard:
 	go test -run - -bench 'IngestSharded' -benchtime 20x .
 
 .PHONY: check
-check: fmt-check vet test test-race-verify test-race-commit test-race-obs test-race-health test-race-read test-race-shard
+check: fmt-check vet test test-race-verify test-race-commit test-race-obs test-race-health test-race-read test-race-shard test-race-audit

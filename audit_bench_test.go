@@ -1,0 +1,113 @@
+package sqlledger_test
+
+// Benchmarks for the always-on auditor's central claim: re-verifying K
+// freshly closed blocks costs O(K), independent of how much history sits
+// below the watermark. BenchmarkAuditIncremental builds ledgers of
+// different depths and audits the same delta on each — ns/op should stay
+// flat as the N= subbenchmark grows. BenchmarkAuditSampled prices one
+// 10% cold-history sweep.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sqlledger"
+)
+
+// auditLedger builds a ledger with exactly `blocks` closed blocks of
+// txPerBlock single-row transactions.
+func auditLedger(b *testing.B, txPerBlock uint32, blocks int) (*sqlledger.DB, *sqlledger.LedgerTable, int64) {
+	b.Helper()
+	db, err := sqlledger.Open(sqlledger.Options{
+		Dir: b.TempDir(), Name: "bench", BlockSize: txPerBlock,
+		LockTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	lt, err := db.CreateLedgerTable("t", fig8Schema(), sqlledger.Updateable)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var next int64
+	addBlocks := func(n int) {
+		for i := 0; i < n*int(txPerBlock); i++ {
+			tx := db.Begin("bench")
+			if err := tx.Insert(lt, fig8Row(next)); err != nil {
+				b.Fatal(err)
+			}
+			next++
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	addBlocks(blocks)
+	if _, err := db.GenerateDigest(); err != nil { // close the tail block
+		b.Fatal(err)
+	}
+	return db, lt, next
+}
+
+// BenchmarkAuditIncremental: each iteration closes K=8 new blocks and
+// runs one audit cycle. The N= variants differ only in pre-existing
+// history; flat ns/op across them is the O(K) result.
+func BenchmarkAuditIncremental(b *testing.B) {
+	const txPerBlock = 8
+	const deltaBlocks = 8
+	for _, blocks := range []int{64, 512} {
+		b.Run(fmt.Sprintf("N=%d", blocks), func(b *testing.B) {
+			db, lt, next := auditLedger(b, txPerBlock, blocks)
+			aud, err := db.NewAuditor(sqlledger.AuditorOptions{}) // SampleFraction 0: pure O(K) path
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st := aud.RunCycle(); !st.Ok { // catch the watermark up once
+				b.Fatalf("catch-up: %v", st.LastReport)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for j := 0; j < deltaBlocks*txPerBlock; j++ {
+					tx := db.Begin("bench")
+					if err := tx.Insert(lt, fig8Row(next)); err != nil {
+						b.Fatal(err)
+					}
+					next++
+					if err := tx.Commit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := db.GenerateDigest(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if st := aud.RunCycle(); !st.Ok {
+					b.Fatalf("audit: %v", st.LastReport)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAuditSampled prices one sampling sweep re-checking ~10% of
+// cold history per cycle on a settled ledger.
+func BenchmarkAuditSampled(b *testing.B) {
+	const txPerBlock = 8
+	db, _, _ := auditLedger(b, txPerBlock, 128)
+	aud, err := db.NewAuditor(sqlledger.AuditorOptions{SampleFraction: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st := aud.RunCycle(); !st.Ok {
+		b.Fatalf("catch-up: %v", st.LastReport)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := aud.RunCycle(); !st.Ok {
+			b.Fatalf("audit: %v", st.LastReport)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 //	ledgerbench -exp ingest      ingest scaling: serial vs. batched parallel hashing
 //	ledgerbench -exp read        read scaling: MVCC snapshot reads vs. reader count
 //	ledgerbench -exp shard       shard scaling: multi-core ingest under one super-root
+//	ledgerbench -exp audit       always-on audit: full rescan vs incremental vs sampled
 //	ledgerbench -exp all         everything
 //
 // Absolute numbers depend on the machine; the paper's claims are about
@@ -38,7 +39,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|blockchain|naive|commit|ingest|read|shard|all")
+	expFlag     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|blockchain|naive|commit|ingest|read|shard|audit|all")
 	durFlag     = flag.Duration("duration", 5*time.Second, "measurement duration per configuration")
 	clientsFlag = flag.Int("clients", runtime.GOMAXPROCS(0), "concurrent workload clients")
 	warehouses  = flag.Int("warehouses", 2, "TPC-C warehouses")
@@ -119,6 +120,8 @@ func main() {
 		readScaling(base)
 	case "shard":
 		shardScaling(base)
+	case "audit":
+		auditBench(base)
 	case "all":
 		fig7(base)
 		fig8(base)
@@ -129,6 +132,7 @@ func main() {
 		ingest(base)
 		readScaling(base)
 		shardScaling(base)
+		auditBench(base)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *expFlag))
 	}
@@ -995,5 +999,117 @@ func naive(base string) {
 	fmt.Printf("  naive full rehash (%d rows): %v per digest (%.0fx slower)\n",
 		rows, full.Round(time.Microsecond), float64(full)/float64(incr))
 	db.Close()
+	fmt.Println()
+}
+
+// auditBench contrasts the three verification cost models on the same
+// ledger: a full rescan (cost grows with total history), the auditor's
+// incremental pass over K freshly closed blocks (cost stays flat as the
+// ledger grows — the O(K) claim), and a 25% sampling sweep over cold
+// history. The incremental column should be ~constant down the table
+// while the full-verify column scales with the block count.
+func auditBench(base string) {
+	fmt.Println("== Always-on audit: full rescan vs incremental vs sampled ==")
+	const txPerBlock = 16
+	const rowsPerTx = 8
+	const deltaBlocks = 8
+	const sampleFraction = 0.25
+	schema := sqlledger.MustSchema([]sqlledger.Column{
+		sqlledger.Col("id", sqlledger.TypeBigInt),
+		sqlledger.Col("a", sqlledger.TypeBigInt),
+		sqlledger.Col("b", sqlledger.TypeBigInt),
+		sqlledger.Col("payload", sqlledger.TypeVarChar),
+	}, "id")
+	fmt.Printf("  %8s  %12s  %14s  %18s  %12s\n",
+		"blocks", "full-verify", "audit-catchup", "incremental(K=8)", "sampled(25%)")
+	for _, blocks := range []int{64, 256} {
+		var tick atomic.Int64
+		tick.Store(1_700_000_000_000_000_000)
+		db, err := sqlledger.Open(sqlledger.Options{
+			Dir: filepath.Join(base, fmt.Sprintf("audit-%d", blocks)), Name: "audit",
+			BlockSize:   txPerBlock,
+			LockTimeout: 5 * time.Second,
+			Obs:         reg,
+			Clock:       func() int64 { return tick.Add(1) },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		lt, err := db.CreateLedgerTable("t", schema, sqlledger.Updateable)
+		if err != nil {
+			fatal(err)
+		}
+		next := int64(0)
+		load := func(txs int) {
+			for i := 0; i < txs; i++ {
+				tx := db.Begin("bench")
+				for j := 0; j < rowsPerTx; j++ {
+					if err := tx.Insert(lt, workload.ShardedRow(next)); err != nil {
+						fatal(err)
+					}
+					next++
+				}
+				if err := tx.Commit(); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		load(blocks * txPerBlock)
+		if _, err := db.GenerateDigest(); err != nil { // force-close the tail block
+			fatal(err)
+		}
+
+		start := time.Now()
+		rep, err := db.Verify(nil, sqlledger.VerifyOptions{})
+		if err != nil || !rep.Ok() {
+			fatal(fmt.Errorf("full verify: %v %v", err, rep))
+		}
+		fullDur := time.Since(start)
+
+		// First cycle: the auditor catches the watermark up from scratch.
+		aud, err := db.NewAuditor(sqlledger.AuditorOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		start = time.Now()
+		st := aud.RunCycle()
+		catchup := time.Since(start)
+		if !st.Ok {
+			fatal(fmt.Errorf("audit catch-up: %v", st.LastReport))
+		}
+
+		// Steady state: K new blocks land, one cycle re-verifies only those.
+		load(deltaBlocks * txPerBlock)
+		if _, err := db.GenerateDigest(); err != nil {
+			fatal(err)
+		}
+		before := st.BlocksCheckedInc
+		start = time.Now()
+		st = aud.RunCycle()
+		incDur := time.Since(start)
+		if !st.Ok {
+			fatal(fmt.Errorf("audit incremental: %v", st.LastReport))
+		}
+		if got := st.BlocksCheckedInc - before; got > int64(deltaBlocks)+1 {
+			fatal(fmt.Errorf("incremental pass checked %d blocks, want <= %d", got, deltaBlocks+1))
+		}
+
+		// A sampling auditor shares the watermark file, so its cycle is
+		// almost pure cold-history sweep.
+		samp, err := db.NewAuditor(sqlledger.AuditorOptions{SampleFraction: sampleFraction})
+		if err != nil {
+			fatal(err)
+		}
+		start = time.Now()
+		if st := samp.RunCycle(); !st.Ok {
+			fatal(fmt.Errorf("audit sampled: %v", st.LastReport))
+		}
+		sampDur := time.Since(start)
+
+		fmt.Printf("  %8d  %12v  %14v  %18v  %12v\n",
+			blocks, fullDur.Round(time.Microsecond), catchup.Round(time.Microsecond),
+			incDur.Round(time.Microsecond), sampDur.Round(time.Microsecond))
+		db.Close()
+	}
 	fmt.Println()
 }

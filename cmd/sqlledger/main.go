@@ -28,6 +28,7 @@ import (
 	"crypto/ed25519"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +47,12 @@ var dbDir = flag.String("db", "./ledgerdb", "database directory")
 var user = flag.String("user", "cli", "principal recorded for transactions")
 var metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/* on this address while the command runs (empty: off)")
 var shards = flag.Int("shards", 1, "shard the database across N engine instances under one signed super-root (>1 enables sharded mode)")
+var auditInterval = flag.Duration("audit-interval", time.Second, "always-on auditor cycle interval (audit, serve)")
+var auditSample = flag.Float64("audit-sample", 0, "fraction of cold blocks the auditor re-checks per cycle, 0..1 (audit, serve)")
+
+func auditOpts() sqlledger.AuditorOptions {
+	return sqlledger.AuditorOptions{Interval: *auditInterval, SampleFraction: *auditSample}
+}
 
 func main() {
 	flag.Parse()
@@ -111,6 +118,8 @@ func main() {
 		cmdHistory(db, rest)
 	case "sql":
 		cmdSQL(db, rest)
+	case "audit":
+		cmdAudit(db, rest)
 	case "serve":
 		cmdServe(db, reg, rest)
 	default:
@@ -248,20 +257,61 @@ func shardedMain(reg *sqlledger.MetricsRegistry, args []string) {
 		if !rep.Ok() {
 			os.Exit(1)
 		}
+	case "audit":
+		cmdAuditSharded(db, rest)
+	case "serve":
+		cmdServeSharded(db, reg, rest)
 	default:
 		fatal(fmt.Errorf("command %q is not supported in sharded mode (-shards > 1); "+
-			"supported: create, insert, update, delete, select, superblock, verify-super", cmd))
+			"supported: create, insert, update, delete, select, superblock, verify-super, audit, serve", cmd))
 	}
 }
 
-// cmdServe runs the operational HTTP server (metrics, health, debug
-// endpoints) until a signal arrives — or for a fixed duration when one is
-// given, which keeps CI invocations self-terminating.
-func cmdServe(db *sqlledger.DB, reg *sqlledger.MetricsRegistry, args []string) {
+// cmdAuditSharded mirrors cmdAudit across every shard plus the signed
+// super-block head checks.
+func cmdAuditSharded(db *sqlledger.ShardedDB, args []string) {
+	if len(args) > 1 {
+		usage()
+	}
+	sa, err := db.NewAuditor(auditOpts())
+	if err != nil {
+		fatal(err)
+	}
+	var st sqlledger.ShardedAuditStatus
+	if len(args) == 1 {
+		d, err := time.ParseDuration(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		sa.Start()
+		time.Sleep(d)
+		sa.Stop()
+		st = sa.Status()
+	} else {
+		st = sa.RunCycle()
+	}
+	printJSON(st)
+	if !st.Ok {
+		fmt.Fprintln(os.Stderr, "sqlledger: tampering localized in sharded ledger")
+		os.Exit(1)
+	}
+}
+
+// cmdServeSharded runs the sharded ops surface with one auditor per
+// shard under the super-root.
+func cmdServeSharded(db *sqlledger.ShardedDB, reg *sqlledger.MetricsRegistry, args []string) {
 	if len(args) < 1 || len(args) > 2 {
 		usage()
 	}
-	srv, err := db.StartOpsServer(args[0])
+	opts := auditOpts()
+	sa, err := db.NewAuditor(opts)
+	if err != nil {
+		fatal(err)
+	}
+	sa.Start()
+	defer sa.Stop()
+	hc := db.NewHealthChecker(sqlledger.HealthThresholds{MaxVerifiedLag: 10 * opts.Interval})
+	srv, err := sqlledger.ServeOps(args[0], db.OpsHandler(hc))
 	if err != nil {
 		fatal(err)
 	}
@@ -269,6 +319,40 @@ func cmdServe(db *sqlledger.DB, reg *sqlledger.MetricsRegistry, args []string) {
 	stopSampler := sqlledger.StartRuntimeSampler(reg, time.Second)
 	defer stopSampler()
 	printOpsEndpoints(srv.Addr())
+	serveWait(args)
+}
+
+// cmdServe runs the operational HTTP server (metrics, health, debug
+// endpoints) until a signal arrives — or for a fixed duration when one is
+// given, which keeps CI invocations self-terminating. The always-on
+// auditor runs alongside it, so /healthz carries a live "verified up to
+// block K" claim and flips to 503 when tampering is localized.
+func cmdServe(db *sqlledger.DB, reg *sqlledger.MetricsRegistry, args []string) {
+	if len(args) < 1 || len(args) > 2 {
+		usage()
+	}
+	opts := auditOpts()
+	a, err := db.NewAuditor(opts)
+	if err != nil {
+		fatal(err)
+	}
+	a.Start()
+	defer a.Stop()
+	hc := db.NewHealthChecker(sqlledger.HealthThresholds{MaxVerifiedLag: 10 * opts.Interval})
+	srv, err := sqlledger.ServeOps(args[0], db.OpsHandler(hc))
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	stopSampler := sqlledger.StartRuntimeSampler(reg, time.Second)
+	defer stopSampler()
+	printOpsEndpoints(srv.Addr())
+	serveWait(args)
+}
+
+// serveWait blocks for the optional DURATION argument, or until a
+// signal.
+func serveWait(args []string) {
 	if len(args) == 2 {
 		d, err := time.ParseDuration(args[1])
 		if err != nil {
@@ -282,10 +366,49 @@ func cmdServe(db *sqlledger.DB, reg *sqlledger.MetricsRegistry, args []string) {
 	<-ch
 }
 
+// cmdAudit drives the auditor explicitly: with no argument it runs one
+// synchronous cycle and prints the status; with a duration it runs the
+// background loop that long first. Exits 1 when tampering was localized.
+func cmdAudit(db *sqlledger.DB, args []string) {
+	if len(args) > 1 {
+		usage()
+	}
+	a, err := db.NewAuditor(auditOpts())
+	if err != nil {
+		fatal(err)
+	}
+	var st sqlledger.AuditStatus
+	if len(args) == 1 {
+		d, err := time.ParseDuration(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		a.Start()
+		time.Sleep(d)
+		a.Stop()
+		st = a.Status()
+	} else {
+		st = a.RunCycle()
+	}
+	printJSON(st)
+	if !st.Ok {
+		fmt.Fprintln(os.Stderr, "sqlledger: tampering localized:", st.LastReport)
+		os.Exit(1)
+	}
+}
+
+func printJSON(v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(b))
+}
+
 func printOpsEndpoints(addr string) {
 	fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
 	fmt.Fprintf(os.Stderr, "health:  http://%s/healthz\n", addr)
-	fmt.Fprintf(os.Stderr, "debug:   http://%s/debug/{ledger,events,spans,pprof}\n", addr)
+	fmt.Fprintf(os.Stderr, "debug:   http://%s/debug/{ledger,audit,events,spans,pprof}\n", addr)
 }
 
 // cmdSQL executes SQL: either the statements given as arguments, or a
@@ -373,13 +496,20 @@ commands:
   verify-receipt FILE PUBKEYHEX          verify a receipt offline
   truncate BEFORE_BLOCK                  delete ledger history below a block
   restore DSTDIR UNIXNANO                point-in-time restore
+  audit [DURATION]                       run the always-on auditor: one cycle, or
+                                         a background loop for DURATION; exits 1
+                                         when tampering is localized
   serve ADDR [DURATION]                  run the ops HTTP server (/metrics,
-                                         /healthz, /debug/ledger, /debug/events,
-                                         /debug/spans, /debug/pprof)
+                                         /healthz, /debug/ledger, /debug/audit,
+                                         /debug/events, /debug/spans,
+                                         /debug/pprof) with the auditor running
+                                         (-audit-interval, -audit-sample)
 sharded mode (-shards N, N > 1):
   create/insert/update/delete/select     as above, routed by primary key
   superblock                             close + print a signed super-block (JSON)
-  verify-super [FILE]                    verify every shard against a super-block`)
+  verify-super [FILE]                    verify every shard against a super-block
+  audit [DURATION]                       audit every shard + super-block heads
+  serve ADDR [DURATION]                  sharded ops surface with per-shard auditors`)
 	os.Exit(2)
 }
 

@@ -1,0 +1,587 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sqlledger/internal/engine"
+	"sqlledger/internal/sqltypes"
+)
+
+// newAuditor builds an auditor with sampling at full strength so every
+// cycle re-checks all cold history — the deterministic setting for
+// tamper-localization tests.
+func newAuditor(t *testing.T, l *LedgerDB, fraction float64) *Auditor {
+	t.Helper()
+	a, err := l.NewAuditor(AuditorOptions{SampleFraction: fraction})
+	if err != nil {
+		t.Fatalf("new auditor: %v", err)
+	}
+	return a
+}
+
+func cycleOK(t *testing.T, a *Auditor) AuditStatus {
+	t.Helper()
+	st := a.RunCycle()
+	if !st.Ok {
+		t.Fatalf("audit cycle found tampering on a clean ledger: %v", st.LastReport)
+	}
+	return st
+}
+
+func cycleFinds(t *testing.T, a *Auditor) *TamperReport {
+	t.Helper()
+	st := a.RunCycle()
+	if st.Ok {
+		t.Fatal("audit cycle missed the injected tamper")
+	}
+	return st.LastReport
+}
+
+// TestAuditorIncrementalWatermark checks the O(K) contract through the
+// auditor's own counters: the first cycle pays for the whole chain once,
+// and each later cycle checks exactly the blocks closed since the
+// watermark.
+func TestAuditorIncrementalWatermark(t *testing.T) {
+	l := openTestLedger(t, 2)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 10) // 5 full blocks
+	a := newAuditor(t, l, 0)
+
+	st := cycleOK(t, a)
+	if st.VerifiedThroughBlock != st.ChainHeadBlock {
+		t.Fatalf("watermark %d should reach the head %d", st.VerifiedThroughBlock, st.ChainHeadBlock)
+	}
+	first := st.BlocksCheckedInc
+	if first != st.ChainHeadBlock+1 {
+		t.Fatalf("catch-up checked %d blocks, want %d", first, st.ChainHeadBlock+1)
+	}
+
+	// Idle cycles are free.
+	st = cycleOK(t, a)
+	if st.BlocksCheckedInc != first {
+		t.Fatalf("idle cycle checked %d blocks", st.BlocksCheckedInc-first)
+	}
+
+	// K new blocks cost exactly K.
+	head := st.ChainHeadBlock
+	for i := 0; i < 4; i++ {
+		tx := l.Begin("more")
+		if err := tx.Insert(lt, account(fmt.Sprintf("extra-%d", i), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	if _, err := l.GenerateDigest(); err != nil { // close the tail block
+		t.Fatal(err)
+	}
+	st = cycleOK(t, a)
+	if delta := st.BlocksCheckedInc - first; delta != st.ChainHeadBlock-head {
+		t.Fatalf("incremental cycle checked %d blocks, want %d", delta, st.ChainHeadBlock-head)
+	}
+}
+
+// TestAuditorWatermarkPersistsAcrossReopen closes and reopens the
+// database: the new auditor must resume from the persisted watermark
+// instead of re-verifying history.
+func TestAuditorWatermarkPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	l := openLedgerAt(t, dir, 2)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 8)
+	a := newAuditor(t, l, 0)
+	wm := cycleOK(t, a).VerifiedThroughBlock
+	if wm < 3 {
+		t.Fatalf("watermark = %d, want several blocks", wm)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLedgerAt(t, dir, 2)
+	a2 := newAuditor(t, l2, 0)
+	if got := a2.Status().VerifiedThroughBlock; got != wm {
+		t.Fatalf("reopened watermark = %d, want %d", got, wm)
+	}
+	st := cycleOK(t, a2)
+	if st.BlocksCheckedInc != 0 {
+		t.Fatalf("reopened auditor re-checked %d blocks, want 0", st.BlocksCheckedInc)
+	}
+}
+
+// TestAuditorWatermarkNotTrusted tampers with the verified-through block
+// AFTER it was verified: the re-anchor check must refuse the stored
+// watermark and localize, instead of treating verified history as safe.
+func TestAuditorWatermarkNotTrusted(t *testing.T) {
+	l := openTestLedger(t, 2)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 8)
+	a := newAuditor(t, l, 0)
+	wm := cycleOK(t, a).VerifiedThroughBlock
+
+	// Rewrite the watermark block's recorded transaction root.
+	key := sqltypes.EncodeKey(nil, sqltypes.NewBigInt(wm))
+	err := l.Engine().TamperUpdateRow(l.sysBlocks, key, func(r sqltypes.Row) sqltypes.Row {
+		b := append([]byte(nil), r[2].Bytes...)
+		b[0] ^= 0xFF
+		r[2] = sqltypes.NewBinary(b)
+		return r
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cycleFinds(t, a)
+	if rep.Mode != "watermark" {
+		t.Fatalf("mode = %q, want watermark", rep.Mode)
+	}
+	if rep.Block != wm {
+		t.Fatalf("localized block %d, want %d", rep.Block, wm)
+	}
+}
+
+// TestAuditorDiscardsForeignWatermark writes an audit.json from another
+// incarnation; the auditor must start from scratch, not trust it.
+func TestAuditorDiscardsForeignWatermark(t *testing.T) {
+	dir := t.TempDir()
+	l := openLedgerAt(t, dir, 2)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 4)
+
+	wm := auditWatermark{DatabaseName: "test", Incarnation: l.incarnation + 1, VerifiedThrough: 99}
+	b, _ := json.Marshal(wm)
+	if err := os.WriteFile(filepath.Join(dir, auditFile), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := newAuditor(t, l, 0)
+	if got := a.Status().VerifiedThroughBlock; got != -1 {
+		t.Fatalf("foreign watermark was trusted: verified-through = %d", got)
+	}
+	cycleOK(t, a)
+}
+
+// TestAuditorTamperMatrix injects one mutation per ledger surface and
+// asserts the auditor's bisection pins each to the right place.
+func TestAuditorTamperMatrix(t *testing.T) {
+	setup := func(t *testing.T) (*LedgerDB, *LedgerTable, *Auditor) {
+		l := openTestLedger(t, 3)
+		lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+		seedAccounts(t, l, lt, 9)
+		l.Checkpoint() // entries into sys_ledger_transactions for direct tampering
+		a := newAuditor(t, l, 1)
+		cycleOK(t, a)
+		return l, lt, a
+	}
+
+	t.Run("block body", func(t *testing.T) {
+		l, _, a := setup(t)
+		key := sqltypes.EncodeKey(nil, sqltypes.NewBigInt(1))
+		err := l.Engine().TamperUpdateRow(l.sysBlocks, key, func(r sqltypes.Row) sqltypes.Row {
+			r[3] = sqltypes.NewBigInt(r[3].Int() + 1) // transaction_count
+			return r
+		}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := cycleFinds(t, a)
+		if rep.Block != 1 {
+			t.Fatalf("localized %v, want block 1", rep)
+		}
+	})
+
+	t.Run("tx payload", func(t *testing.T) {
+		l, lt, a := setup(t)
+		// Pick a seed transaction (block >= 2): it touched only the
+		// accounts table, so the bisection must name both tx and table.
+		var key []byte
+		l.sysTx.Scan(func(k []byte, r sqltypes.Row) bool {
+			if r[1].Int() >= 2 {
+				key = append([]byte(nil), k...)
+				return false
+			}
+			return true
+		})
+		if key == nil {
+			t.Fatal("no seed transaction in sys_ledger_transactions")
+		}
+		var txID int64
+		err := l.Engine().TamperUpdateRow(l.sysTx, key, func(r sqltypes.Row) sqltypes.Row {
+			txID = r[0].Int()
+			b := append([]byte(nil), r[5].Bytes...) // table_hashes
+			b[len(b)-1] ^= 0xFF                     // flip a root byte, still decodable
+			r[5] = sqltypes.NewBinary(b)
+			return r
+		}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := cycleFinds(t, a)
+		if rep.TxID != uint64(txID) || rep.Table != lt.Name() {
+			t.Fatalf("localized %v, want tx %d in %s", rep, txID, lt.Name())
+		}
+	})
+
+	t.Run("single row", func(t *testing.T) {
+		l, lt, a := setup(t)
+		key := firstKeyOf(t, lt.Table())
+		err := l.Engine().TamperUpdateRow(lt.Table(), key, func(r sqltypes.Row) sqltypes.Row {
+			r[1] = sqltypes.NewBigInt(1_000_000)
+			return r
+		}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := cycleFinds(t, a)
+		if rep.Table != lt.Name() || rep.TxID == 0 {
+			t.Fatalf("localized %v, want a transaction in %s", rep, lt.Name())
+		}
+		// Each seed transaction wrote exactly one row, so the bisection
+		// can name it.
+		if rep.Key == "" || !strings.Contains(rep.Key, "acct-") {
+			t.Fatalf("report did not name the damaged row: %v", rep)
+		}
+	})
+
+	t.Run("deleted row", func(t *testing.T) {
+		l, lt, a := setup(t)
+		key := firstKeyOf(t, lt.Table())
+		if err := l.Engine().TamperDeleteRow(lt.Table(), key, true); err != nil {
+			t.Fatal(err)
+		}
+		rep := cycleFinds(t, a)
+		if rep.Table != lt.Name() || !strings.Contains(rep.Detail, "no row versions remain") {
+			t.Fatalf("localized %v, want completeness failure in %s", rep, lt.Name())
+		}
+	})
+
+	t.Run("index entry", func(t *testing.T) {
+		l, lt, a := setup(t)
+		ix, err := l.Engine().CreateIndex("accounts", "ix_balance", "balance")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycleOK(t, a) // clean after index build
+		var entryKey []byte
+		lt.Table().ScanIndex(ix, func(ek, _ []byte) bool {
+			entryKey = append([]byte(nil), ek...)
+			return false
+		})
+		if err := l.Engine().TamperIndexEntry(lt.Table(), ix, entryKey, []byte{0xde, 0xad}); err != nil {
+			t.Fatal(err)
+		}
+		rep := cycleFinds(t, a)
+		if rep.Table != "accounts" || rep.Key == "" {
+			t.Fatalf("localized %v, want an index entry in accounts", rep)
+		}
+	})
+}
+
+// TestShardedAuditorLocalizesShard tampers one shard's chain head and
+// asserts the sharded auditor names that shard — via the signed
+// super-block head pins, before any block-level bisection.
+func TestShardedAuditorLocalizesShard(t *testing.T) {
+	s := openSharded(t, t.TempDir(), 3)
+	defer s.Close()
+	st, err := s.CreateLedgerTable("accounts", accountsSchema(), engine.LedgerUpdateable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadAccounts(t, s, st, 120)
+	if _, err := s.CloseSuperBlock(); err != nil {
+		t.Fatal(err)
+	}
+	sa, err := s.NewAuditor(AuditorOptions{SampleFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sa.RunCycle(); !got.Ok {
+		t.Fatalf("clean sharded ledger failed audit: %+v", got)
+	}
+
+	// Rewrite shard 1's head block root: the super-block pin breaks.
+	shard := s.Shard(1)
+	head := shard.DebugInfo().ChainHeight - 1
+	key := sqltypes.EncodeKey(nil, sqltypes.NewBigInt(head))
+	err = shard.Engine().TamperUpdateRow(shard.sysBlocks, key, func(r sqltypes.Row) sqltypes.Row {
+		b := append([]byte(nil), r[2].Bytes...)
+		b[0] ^= 0xFF
+		r[2] = sqltypes.NewBinary(b)
+		return r
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sa.RunCycle()
+	if got.Ok {
+		t.Fatal("sharded auditor missed the tampered shard head")
+	}
+	var rep *TamperReport
+	if got.HeadReport != nil {
+		rep = got.HeadReport
+	} else {
+		for _, ss := range got.Shards {
+			if ss.LastReport != nil {
+				rep = ss.LastReport
+				break
+			}
+		}
+	}
+	if rep == nil || rep.Shard != 1 {
+		t.Fatalf("localized %v, want shard 1", rep)
+	}
+	for i, ss := range got.Shards {
+		if i != 1 && ss.LastReport != nil {
+			t.Fatalf("clean shard %d reported: %v", i, ss.LastReport)
+		}
+	}
+}
+
+// TestAuditorLiveWriters runs full-strength sampling cycles concurrently
+// with committing writers: snapshot pinning must prevent false tamper
+// reports. Run under -race this also exercises the scan/commit
+// interleavings.
+func TestAuditorLiveWriters(t *testing.T) {
+	l := openTestLedger(t, 5)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 10)
+	a := newAuditor(t, l, 1)
+
+	// A bounded writer keeps the ledger small enough that the
+	// full-strength sampling cycles stay cheap while still overlapping
+	// dozens of commits with each scan.
+	const writerTxs = 400
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < writerTxs; i++ {
+			tx := l.Begin("writer")
+			name := acctName(i % 10)
+			if i%3 == 0 {
+				_ = tx.Update(lt, account(name, int64(i)))
+			} else {
+				_ = tx.Insert(lt, account(fmt.Sprintf("live-%d", i), int64(i)))
+			}
+			if err := tx.Commit(); err != nil {
+				t.Errorf("commit: %v", err)
+				return
+			}
+		}
+	}()
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+		if st := a.RunCycle(); !st.Ok {
+			wg.Wait()
+			t.Fatalf("false tamper report under live writers: %v", st.LastReport)
+		}
+	}
+	wg.Wait()
+	cycleOK(t, a)
+}
+
+// TestVerifyProgressBlockRange is the regression for partial
+// verification progress: a Blocks-scoped run must still drive a
+// monotone ratio ending at exactly 1.0.
+func TestVerifyProgressBlockRange(t *testing.T) {
+	l := openTestLedger(t, 2)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 8)
+
+	var got []VerifyProgress
+	rep, err := l.Verify(nil, VerifyOptions{
+		Blocks:   &BlockRange{From: 1, To: 2},
+		Progress: func(p VerifyProgress) { got = append(got, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("scoped verify failed:\n%s", rep)
+	}
+	if len(got) == 0 {
+		t.Fatal("no progress callbacks")
+	}
+	prev := -1.0
+	for _, p := range got {
+		if p.Ratio < prev {
+			t.Fatalf("progress went backwards: %v -> %v", prev, p.Ratio)
+		}
+		prev = p.Ratio
+	}
+	last := got[len(got)-1]
+	if last.Ratio != 1.0 || last.Phase != "done" {
+		t.Fatalf("final progress = %+v, want ratio exactly 1.0 with phase done", last)
+	}
+}
+
+// TestVerifyBlockRangeScopesIssues: tampering inside the range is
+// caught, tampering outside is not — the range genuinely scopes work.
+func TestVerifyBlockRangeScopesIssues(t *testing.T) {
+	l := openTestLedger(t, 2)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 8)
+	l.Checkpoint()
+
+	// Tamper a transaction entry in block 1.
+	var victim []byte
+	l.sysTx.Scan(func(k []byte, r sqltypes.Row) bool {
+		if r[1].Int() == 1 {
+			victim = append([]byte(nil), k...)
+			return false
+		}
+		return true
+	})
+	err := l.Engine().TamperUpdateRow(l.sysTx, victim, func(r sqltypes.Row) sqltypes.Row {
+		r[4] = sqltypes.NewNVarChar("mallory")
+		return r
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := l.Verify(nil, VerifyOptions{Blocks: &BlockRange{From: 2, To: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("out-of-range tamper should not be flagged:\n%s", rep)
+	}
+	rep, err = l.Verify(nil, VerifyOptions{Blocks: &BlockRange{From: 0, To: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("in-range tamper missed")
+	}
+}
+
+// TestAuditOpsSurface drives the HTTP surface end to end: /debug/audit
+// reports the watermark, and a localized tamper flips /healthz to 503
+// with the report inline.
+func TestAuditOpsSurface(t *testing.T) {
+	l := openTestLedger(t, 3)
+	lt := mustLedgerTable(t, l, "accounts", engine.LedgerUpdateable)
+	seedAccounts(t, l, lt, 6)
+	a := newAuditor(t, l, 1)
+	cycleOK(t, a)
+
+	srv := httptest.NewServer(l.OpsHandler(nil))
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b
+	}
+
+	code, body := get("/debug/audit")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/audit status %d", code)
+	}
+	var st AuditStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("decode /debug/audit: %v\n%s", err, body)
+	}
+	if !st.Ok || st.VerifiedThroughBlock < 1 {
+		t.Fatalf("audit status %+v", st)
+	}
+
+	code, body = get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d\n%s", code, body)
+	}
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Audit == nil || !strings.Contains(h.Audit.Summary, "verified up to block") {
+		t.Fatalf("healthz audit summary missing: %+v", h.Audit)
+	}
+
+	// Tamper a row, localize it, and the surface must flip.
+	key := firstKeyOf(t, lt.Table())
+	err := l.Engine().TamperUpdateRow(lt.Table(), key, func(r sqltypes.Row) sqltypes.Row {
+		r[1] = sqltypes.NewBigInt(666)
+		return r
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycleFinds(t, a)
+
+	code, body = get("/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz status %d after tamper, want 503\n%s", code, body)
+	}
+	code, body = get("/debug/audit")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/audit status %d", code)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ok || st.LastReport == nil || st.LastReport.Table != "accounts" || st.LastReport.Key == "" {
+		t.Fatalf("/debug/audit did not name the damaged row: %+v", st.LastReport)
+	}
+}
+
+// TestShardedOpsSurface checks satellite wiring: the sharded
+// /debug/ledger and /healthz expose super-block seq/age.
+func TestShardedOpsSurface(t *testing.T) {
+	s := openSharded(t, t.TempDir(), 2)
+	defer s.Close()
+	st, err := s.CreateLedgerTable("accounts", accountsSchema(), engine.LedgerUpdateable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadAccounts(t, s, st, 60)
+	sb, err := s.CloseSuperBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := s.DebugInfo()
+	if d.SuperBlock == nil || d.SuperBlock.SeqNo != sb.SeqNo {
+		t.Fatalf("debug super-block = %+v, want seq %d", d.SuperBlock, sb.SeqNo)
+	}
+	if len(d.Instances) != 2 {
+		t.Fatalf("instances = %d", len(d.Instances))
+	}
+
+	hc := s.NewHealthChecker(HealthThresholds{MaxSuperBlockAge: time.Hour})
+	h := hc.Check()
+	if h.SuperBlock.SeqNo != sb.SeqNo || len(h.Shards) != 2 {
+		t.Fatalf("sharded health %+v", h)
+	}
+	if h.Status != HealthHealthy {
+		t.Fatalf("status %s: %v", h.Status, h.Reasons)
+	}
+
+	// No super-block within the age bound → degraded.
+	hcTight := s.NewHealthChecker(HealthThresholds{MaxSuperBlockAge: time.Nanosecond})
+	if got := hcTight.Check(); got.Status != HealthDegraded {
+		t.Fatalf("stale super-block status = %s", got.Status)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sqlledger/internal/engine"
@@ -145,6 +146,10 @@ type LedgerDB struct {
 	healthMu   sync.Mutex
 	lastUpload uploadMark
 	lastVerify verifyMark
+
+	// auditor is the registered always-on Auditor, if any; HealthChecker
+	// and /debug/audit read its status through this pointer.
+	auditor atomic.Pointer[Auditor]
 
 	doneCh   chan struct{}
 	closedDB bool

@@ -58,6 +58,17 @@ type HealthThresholds struct {
 	// MaxVerifyAge degrades the status when the last verification is
 	// older than this (or has never run). Zero disables the check.
 	MaxVerifyAge time.Duration
+	// MaxVerifiedLag degrades the status when a registered auditor's
+	// last completed cycle is older than this — the always-on
+	// verification has fallen behind, so the "verified up to block K"
+	// claim is going stale. Zero disables the check. A tamper report
+	// from the auditor makes the status unhealthy regardless.
+	MaxVerifiedLag time.Duration
+	// MaxSuperBlockAge (sharded databases only) degrades the status when
+	// the newest signed super-block is older than this: shard chains are
+	// growing without the digest-of-digests pinning them. Zero disables
+	// the check.
+	MaxSuperBlockAge time.Duration
 }
 
 func (t HealthThresholds) withDefaults() HealthThresholds {
@@ -99,6 +110,41 @@ type VerifyHealth struct {
 	DurationSeconds float64 `json:"duration_seconds"`
 }
 
+// AuditHealth folds the always-on auditor's state into /healthz: how far
+// continuous verification has advanced, how stale it is, and whether it
+// has localized tampering.
+type AuditHealth struct {
+	VerifiedThroughBlock int64   `json:"verified_through_block"`
+	LagBlocks            int64   `json:"lag_blocks"`
+	AgeSeconds           float64 `json:"age_seconds"`
+	Cycles               int64   `json:"cycles"`
+	Ok                   bool    `json:"ok"`
+	// Summary is the operator-facing one-liner, e.g.
+	// "verified up to block 41, 0.8 seconds ago".
+	Summary string        `json:"summary"`
+	Tamper  *TamperReport `json:"tamper,omitempty"`
+}
+
+func auditHealthOf(st AuditStatus) *AuditHealth {
+	ah := &AuditHealth{
+		VerifiedThroughBlock: st.VerifiedThroughBlock,
+		LagBlocks:            st.LagBlocks,
+		AgeSeconds:           st.AgeSeconds,
+		Cycles:               st.Cycles,
+		Ok:                   st.Ok,
+		Tamper:               st.LastReport,
+	}
+	switch {
+	case st.LastCycleAt == 0:
+		ah.Summary = "auditor has not completed a cycle"
+	case st.VerifiedThroughBlock < 0:
+		ah.Summary = fmt.Sprintf("no blocks closed yet; last audit cycle %.1f seconds ago", st.AgeSeconds)
+	default:
+		ah.Summary = fmt.Sprintf("verified up to block %d, %.1f seconds ago", st.VerifiedThroughBlock, st.AgeSeconds)
+	}
+	return ah
+}
+
 // Health is the typed status served as JSON at /healthz.
 type Health struct {
 	Status  HealthState `json:"status"`
@@ -115,6 +161,7 @@ type Health struct {
 	LastDigestUploadAgeSeconds float64 `json:"last_digest_upload_age_seconds,omitempty"`
 
 	LastVerify *VerifyHealth `json:"last_verify,omitempty"`
+	Audit      *AuditHealth  `json:"audit,omitempty"`
 
 	CheckedAt int64 `json:"checked_at_unix_nano"`
 }
@@ -186,6 +233,9 @@ func (hc *HealthChecker) Check() Health {
 			DurationSeconds: lv.dur.Seconds(),
 		}
 	}
+	if a := l.Auditor(); a != nil {
+		h.Audit = auditHealthOf(a.Status())
+	}
 
 	degrade := func(to HealthState, reason string) {
 		if to == HealthUnhealthy || h.Status == HealthHealthy {
@@ -211,6 +261,20 @@ func (hc *HealthChecker) Check() Health {
 			degrade(HealthDegraded, "no verification has run")
 		case now.Sub(lv.at) > hc.thr.MaxVerifyAge:
 			degrade(HealthDegraded, fmt.Sprintf("last verification is %v old (max %v)", now.Sub(lv.at).Round(time.Second), hc.thr.MaxVerifyAge))
+		}
+	}
+	if h.Audit != nil {
+		if !h.Audit.Ok {
+			degrade(HealthUnhealthy, "auditor localized tampering: "+h.Audit.Tamper.String())
+		}
+		if hc.thr.MaxVerifiedLag > 0 {
+			switch {
+			case h.Audit.Cycles == 0:
+				degrade(HealthDegraded, "auditor has not completed a cycle")
+			case h.Audit.AgeSeconds > hc.thr.MaxVerifiedLag.Seconds():
+				degrade(HealthDegraded, fmt.Sprintf("audit verification is %.1fs behind (max %v): %s",
+					h.Audit.AgeSeconds, hc.thr.MaxVerifiedLag, h.Audit.Summary))
+			}
 		}
 	}
 
@@ -324,6 +388,15 @@ func (l *LedgerDB) OpsHandler(hc *HealthChecker) http.Handler {
 	mux.HandleFunc("/debug/ledger", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		writeIndentedJSON(w, l.DebugInfo())
+	})
+	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		a := l.Auditor()
+		if a == nil {
+			writeIndentedJSON(w, map[string]bool{"enabled": false})
+			return
+		}
+		writeIndentedJSON(w, a.Status())
 	})
 	return mux
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sync"
 
 	"sqlledger/internal/obs"
@@ -45,9 +46,12 @@ func newProgressSink(cb func(VerifyProgress), gauge *obs.Gauge) *progressSink {
 	return &progressSink{cb: cb, gauge: gauge}
 }
 
-// add advances the ratio by delta and notifies observers.
+// add advances the ratio by delta and notifies observers. Non-finite
+// deltas are dropped: weights are ratios of estimated work, and a
+// partial run (VerifyOptions.Blocks, empty table sets) must never poison
+// the monotone ratio with NaN — finish() still pins the bar at 1.0.
 func (p *progressSink) add(delta float64, phase, table string) {
-	if p == nil || delta <= 0 {
+	if p == nil || delta <= 0 || math.IsNaN(delta) || math.IsInf(delta, 0) {
 		return
 	}
 	p.mu.Lock()

@@ -1,16 +1,12 @@
 package core
 
 import (
-	"bytes"
 	"crypto/ed25519"
 	"encoding/json"
 	"fmt"
-	"sort"
 
-	"sqlledger/internal/engine"
 	"sqlledger/internal/merkle"
 	"sqlledger/internal/serial"
-	"sqlledger/internal/sqltypes"
 	"sqlledger/internal/wal"
 )
 
@@ -243,41 +239,9 @@ func (l *LedgerDB) buildReadReceipt(reads []readRecord, snapTS int64, priv ed255
 // one transaction's tree for one ledger table: insert-op hashes of rows
 // the transaction created (base or history) and delete-op hashes of
 // history rows it ended — the per-transaction slice of the invariant-4
-// recomputation in verify.go.
+// recomputation, shared with the auditor's bisection (txTableOps).
 func txTableLeaves(lt *LedgerTable, txID uint64) []merkle.Hash {
-	s := lt.table.Schema()
-	type op struct {
-		seq  uint64
-		hash merkle.Hash
-	}
-	var ops []op
-	collect := func(t *engine.Table, history bool) {
-		t.Scan(func(_ []byte, full sqltypes.Row) bool {
-			if uint64(full[lt.startTxOrd].Int()) == txID {
-				ops = append(ops, op{
-					seq:  uint64(full[lt.startSeqOrd].Int()),
-					hash: serial.HashRow(s, full, serial.OpInsert, lt.skipEnd),
-				})
-			}
-			if history && uint64(full[lt.endTxOrd].Int()) == txID {
-				ops = append(ops, op{
-					seq:  uint64(full[lt.endSeqOrd].Int()),
-					hash: serial.HashRow(s, full, serial.OpDelete, nil),
-				})
-			}
-			return true
-		})
-	}
-	collect(lt.table, false)
-	if lt.history != nil {
-		collect(lt.history, true)
-	}
-	sort.Slice(ops, func(i, j int) bool {
-		if ops[i].seq != ops[j].seq {
-			return ops[i].seq < ops[j].seq
-		}
-		return bytes.Compare(ops[i].hash[:], ops[j].hash[:]) < 0
-	})
+	ops := txTableOps(lt, txID, nil)
 	leaves := make([]merkle.Hash, len(ops))
 	for i, o := range ops {
 		leaves[i] = o.hash

@@ -114,6 +114,10 @@ type ShardedDB struct {
 	hookAfterPrepare  func()
 	hookAfterDecision func()
 
+	// auditor is the registered sharded auditor, if any; the sharded
+	// ops surface reads its status through this pointer.
+	auditor atomic.Pointer[ShardedAuditor]
+
 	obs *obs.Registry
 	m   shardMetrics
 }

@@ -1,0 +1,196 @@
+// Operational surface for sharded databases: /healthz, /debug/ledger and
+// /debug/audit over the whole shard set, with the super-block state —
+// the signed digest-of-digests that makes N shards one ledger — surfaced
+// next to the per-shard chain positions.
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"sqlledger/internal/obs"
+)
+
+// SuperBlockHealth is the super-root slice of a sharded /healthz and
+// /debug/ledger response.
+type SuperBlockHealth struct {
+	SeqNo      uint64  `json:"seq_no"` // 0 = none closed yet
+	Root       string  `json:"root,omitempty"`
+	Shards     int     `json:"shards,omitempty"`
+	AgeSeconds float64 `json:"age_seconds,omitempty"`
+}
+
+func (s *ShardedDB) superBlockHealth() *SuperBlockHealth {
+	sb := s.LastSuperBlock()
+	if sb == nil {
+		return &SuperBlockHealth{}
+	}
+	// Age is measured on the database clock (Options.Clock when set) —
+	// GeneratedAt comes from the same clock, so the two stay comparable
+	// under logical clocks too.
+	return &SuperBlockHealth{
+		SeqNo:      sb.SeqNo,
+		Root:       sb.Root,
+		Shards:     sb.Shards,
+		AgeSeconds: time.Duration(s.nowNanos() - sb.GeneratedAt).Seconds(),
+	}
+}
+
+// ShardedHealth is the typed status served at a sharded /healthz: the
+// worst shard state wins, with the super-block watermark and the sharded
+// audit summary alongside the per-shard reports.
+type ShardedHealth struct {
+	Status     HealthState       `json:"status"`
+	Reasons    []string          `json:"reasons,omitempty"`
+	SuperBlock *SuperBlockHealth `json:"super_block"`
+	Audit      *AuditHealth      `json:"audit,omitempty"`
+	Shards     []Health          `json:"shards"`
+	CheckedAt  int64             `json:"checked_at_unix_nano"`
+}
+
+// ShardedDebug is the sharded /debug/ledger snapshot.
+type ShardedDebug struct {
+	Name       string            `json:"name"`
+	Shards     int               `json:"shards"`
+	SuperBlock *SuperBlockHealth `json:"super_block"`
+	Instances  []LedgerDebug     `json:"instances"`
+}
+
+// DebugInfo captures every shard's shape plus the super-block watermark.
+func (s *ShardedDB) DebugInfo() ShardedDebug {
+	d := ShardedDebug{
+		Name:       s.opts.Name,
+		Shards:     len(s.shards),
+		SuperBlock: s.superBlockHealth(),
+	}
+	for _, shard := range s.shards {
+		d.Instances = append(d.Instances, shard.DebugInfo())
+	}
+	sort.Slice(d.Instances, func(i, j int) bool { return d.Instances[i].Name < d.Instances[j].Name })
+	return d
+}
+
+// ShardedHealthChecker evaluates a ShardedDB: each shard through its own
+// HealthChecker, plus super-block freshness and the sharded auditor.
+type ShardedHealthChecker struct {
+	s   *ShardedDB
+	thr HealthThresholds
+	hcs []*HealthChecker
+}
+
+// NewHealthChecker builds a checker spanning every shard.
+func (s *ShardedDB) NewHealthChecker(thr HealthThresholds) *ShardedHealthChecker {
+	shc := &ShardedHealthChecker{s: s, thr: thr.withDefaults()}
+	for _, shard := range s.shards {
+		shc.hcs = append(shc.hcs, shard.NewHealthChecker(thr))
+	}
+	return shc
+}
+
+// Check evaluates the sharded database's health right now.
+func (shc *ShardedHealthChecker) Check() ShardedHealth {
+	now := time.Now()
+	h := ShardedHealth{
+		Status:     HealthHealthy,
+		SuperBlock: shc.s.superBlockHealth(),
+		CheckedAt:  now.UnixNano(),
+	}
+	degrade := func(to HealthState, reason string) {
+		if to == HealthUnhealthy || h.Status == HealthHealthy {
+			h.Status = to
+		}
+		h.Reasons = append(h.Reasons, reason)
+	}
+	for i, hc := range shc.hcs {
+		sh := hc.Check()
+		h.Shards = append(h.Shards, sh)
+		if sh.Status != HealthHealthy {
+			for _, r := range sh.Reasons {
+				degrade(sh.Status, shardDirName(i)+": "+r)
+			}
+		}
+	}
+	if sa := shc.s.Auditor(); sa != nil {
+		st := sa.Status()
+		// Fold the shard statuses into one headline: the lowest verified
+		// watermark and the stalest cycle bound what "verified" means for
+		// the whole ledger.
+		agg := AuditStatus{Shard: -1, Ok: st.Ok, VerifiedThroughBlock: -1}
+		for _, ss := range st.Shards {
+			if agg.VerifiedThroughBlock < 0 || ss.VerifiedThroughBlock < agg.VerifiedThroughBlock {
+				agg.VerifiedThroughBlock = ss.VerifiedThroughBlock
+			}
+			if ss.AgeSeconds > agg.AgeSeconds {
+				agg.AgeSeconds = ss.AgeSeconds
+			}
+			if ss.LagBlocks > agg.LagBlocks {
+				agg.LagBlocks = ss.LagBlocks
+			}
+			agg.Cycles += ss.Cycles
+			if ss.LastCycleAt > agg.LastCycleAt {
+				agg.LastCycleAt = ss.LastCycleAt
+			}
+			if agg.LastReport == nil {
+				agg.LastReport = ss.LastReport
+			}
+		}
+		if st.HeadReport != nil {
+			agg.LastReport = st.HeadReport
+			agg.Ok = false
+		}
+		h.Audit = auditHealthOf(agg)
+		if !h.Audit.Ok {
+			degrade(HealthUnhealthy, "auditor localized tampering: "+h.Audit.Tamper.String())
+		}
+	}
+	if shc.thr.MaxSuperBlockAge > 0 {
+		switch {
+		case h.SuperBlock.SeqNo == 0:
+			degrade(HealthDegraded, "no super-block has been closed")
+		case h.SuperBlock.AgeSeconds > shc.thr.MaxSuperBlockAge.Seconds():
+			degrade(HealthDegraded, fmt.Sprintf("super-block %d is %.1fs old (max %v)",
+				h.SuperBlock.SeqNo, h.SuperBlock.AgeSeconds, shc.thr.MaxSuperBlockAge))
+		}
+	}
+	return h
+}
+
+// OpsHandler returns the sharded operational HTTP surface on the
+// coordinator's shared registry: /metrics and the /debug endpoints plus
+// sharded /healthz, /debug/ledger and /debug/audit. hc may be nil for a
+// checker with default thresholds.
+func (s *ShardedDB) OpsHandler(hc *ShardedHealthChecker) http.Handler {
+	if hc == nil {
+		hc = s.NewHealthChecker(HealthThresholds{})
+	}
+	mux := obs.Mux(s.obs)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := hc.Check()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status == HealthUnhealthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeIndentedJSON(w, h)
+	})
+	mux.HandleFunc("/debug/ledger", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeIndentedJSON(w, s.DebugInfo())
+	})
+	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		sa := s.Auditor()
+		if sa == nil {
+			writeIndentedJSON(w, map[string]bool{"enabled": false})
+			return
+		}
+		writeIndentedJSON(w, sa.Status())
+	})
+	return mux
+}
+
+// StartOpsServer serves OpsHandler (with default thresholds) on addr.
+func (s *ShardedDB) StartOpsServer(addr string) (*obs.Server, error) {
+	return obs.StartServerHandler(addr, s.OpsHandler(nil))
+}

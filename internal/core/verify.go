@@ -121,6 +121,27 @@ type VerifyOptions struct {
 	// non-decreasing and end at exactly 1.0; the callback may run from
 	// multiple verification goroutines but calls are serialized.
 	Progress func(VerifyProgress)
+	// Blocks, if set, restricts verification to ledger blocks in the
+	// inclusive range [From, To]: invariants 1-3 only cover in-range
+	// blocks (the chain link of block From is still anchored against the
+	// recomputed hash of block From-1 when that block exists), and
+	// invariant 4 only recomputes the Merkle roots of transactions whose
+	// block is in range. Row and index scans still walk whole tables —
+	// the range scopes which checks run, not the scan cost; the
+	// incremental Auditor is the O(delta) path.
+	Blocks *BlockRange
+}
+
+// BlockRange is an inclusive range of ledger block ids.
+type BlockRange struct {
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+}
+
+// contains reports whether block b is in the range; a nil range contains
+// every block.
+func (r *BlockRange) contains(b uint64) bool {
+	return r == nil || (b >= r.From && b <= r.To)
 }
 
 // workerPool bounds verification concurrency with a semaphore of n-1
@@ -207,13 +228,32 @@ func (l *LedgerDB) Verify(digests []Digest, opts VerifyOptions) (*Report, error)
 	l.lmu.Unlock()
 	truncatedBefore, truncatedMaxTx := l.truncationInfo()
 
+	// A block range scopes invariant 1 to in-range digests and
+	// invariant 3 to in-range transaction entries.
+	scoped := entries
+	if opts.Blocks != nil {
+		var inRange []Digest
+		for _, d := range digests {
+			if opts.Blocks.contains(d.BlockID) {
+				inRange = append(inRange, d)
+			}
+		}
+		digests = inRange
+		scoped = make(map[uint64]*wal.LedgerEntry)
+		for txID, e := range entries {
+			if opts.Blocks.contains(e.BlockID) {
+				scoped[txID] = e
+			}
+		}
+	}
+
 	// Invariants 1–3 run as query plans over the system tables, the way
 	// §3.4.2 expresses them inside the query processor (see
 	// verify_queries.go).
 	phase := time.Now()
 	l.verifyDigestsQuery(digests, truncatedBefore, rep)
-	l.verifyChainQuery(truncatedBefore, rep)
-	l.verifyBlockRootsQuery(entries, rep)
+	l.verifyChainQuery(truncatedBefore, opts.Blocks, rep)
+	l.verifyBlockRootsQuery(scoped, opts.Blocks, rep)
 	rep.Timing.Chain = time.Since(phase)
 	prog.add(progressChainWeight, "chain", "")
 
@@ -259,7 +299,7 @@ func (l *LedgerDB) Verify(digests []Digest, opts VerifyOptions) (*Report, error)
 		tableTasks = append(tableTasks, func() {
 			sub := &Report{}
 			t0 := time.Now()
-			l.verifyTable(lt, entries, truncatedBefore, truncatedMaxTx, opts.Parallelism, pool, sub, prog, w*progressRowsShare)
+			l.verifyTable(lt, entries, opts.Blocks, truncatedBefore, truncatedMaxTx, opts.Parallelism, pool, sub, prog, w*progressRowsShare)
 			rows := time.Since(t0)
 			t1 := time.Now()
 			l.verifyIndexes(lt, opts.Parallelism, pool, sub, prog, w*progressIndexShare)
@@ -367,7 +407,7 @@ type shardOps struct {
 // per-shard tx→ops map, so one large table keeps every core busy. Stage
 // two merges the shards and fans the per-transaction Merkle-root
 // recomputation back out over the pool.
-func (l *LedgerDB) verifyTable(lt *LedgerTable, entries map[uint64]*wal.LedgerEntry, truncatedBefore, truncatedMaxTx uint64, parallelism int, pool *workerPool, rep *Report, prog *progressSink, weight float64) {
+func (l *LedgerDB) verifyTable(lt *LedgerTable, entries map[uint64]*wal.LedgerEntry, blocks *BlockRange, truncatedBefore, truncatedMaxTx uint64, parallelism int, pool *workerPool, rep *Report, prog *progressSink, weight float64) {
 	s := lt.table.Schema()
 	name := lt.Name()
 
@@ -448,6 +488,11 @@ func (l *LedgerDB) verifyTable(lt *LedgerTable, entries map[uint64]*wal.LedgerEn
 						Detail: fmt.Sprintf("row versions reference transaction %d which is not recorded in the ledger", txID)})
 					continue
 				}
+				if !blocks.contains(e.BlockID) {
+					// Out-of-range transactions keep their rows; a block
+					// range only scopes which roots are recomputed.
+					continue
+				}
 				var recorded *merkle.Hash
 				for i := range e.Roots {
 					if e.Roots[i].TableID == lt.ID() {
@@ -494,7 +539,7 @@ func (l *LedgerDB) verifyTable(lt *LedgerTable, entries map[uint64]*wal.LedgerEn
 		if _, seen := byTx[txID]; seen {
 			continue
 		}
-		if e.BlockID < truncatedBefore {
+		if e.BlockID < truncatedBefore || !blocks.contains(e.BlockID) {
 			continue
 		}
 		for _, tr := range e.Roots {

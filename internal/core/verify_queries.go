@@ -32,6 +32,25 @@ func (l *LedgerDB) blocksRelation() query.Iterator {
 	}), 0)
 }
 
+// blocksRelationRange is blocksRelation restricted to a block range.
+// anchored additionally includes block From-1 so the LAG chain check can
+// still verify block From's previous-hash link.
+func (l *LedgerDB) blocksRelationRange(blocks *BlockRange, anchored bool) query.Iterator {
+	it := l.blocksRelation()
+	if blocks == nil {
+		return it
+	}
+	lo := int64(blocks.From)
+	if anchored && lo > 0 {
+		lo--
+	}
+	hi := int64(blocks.To)
+	return query.Filter(it, func(r sqltypes.Row) bool {
+		id := r[0].Int()
+		return id >= lo && id <= hi
+	})
+}
+
 // verifyDigestsQuery checks invariant 1.
 func (l *LedgerDB) verifyDigestsQuery(digests []Digest, truncatedBefore uint64, rep *Report) {
 	rep.DigestsChecked = len(digests)
@@ -78,22 +97,31 @@ func (l *LedgerDB) verifyDigestsQuery(digests []Digest, truncatedBefore uint64, 
 }
 
 // verifyChainQuery checks invariant 2 with the LAG formulation.
-func (l *LedgerDB) verifyChainQuery(truncatedBefore uint64, rep *Report) {
-	// Each output row is prev(0..5) ++ cur(6..11).
-	it := query.Lag(l.blocksRelation(), 6)
+func (l *LedgerDB) verifyChainQuery(truncatedBefore uint64, blocks *BlockRange, rep *Report) {
+	// Each output row is prev(0..5) ++ cur(6..11). With a block range the
+	// relation also carries block From-1 as a link anchor; that row is
+	// not itself checked or counted.
+	it := query.Lag(l.blocksRelationRange(blocks, true), 6)
 	for {
 		r, ok := it.Next()
 		if !ok {
 			break
 		}
-		rep.BlocksChecked++
 		curID := uint64(r[6].Int())
-		if r[0].Null { // first block of the chain
+		if !blocks.contains(curID) {
+			continue // range anchor row
+		}
+		rep.BlocksChecked++
+		if r[0].Null { // first block of the chain (or range)
 			switch {
 			case curID == 0 && !allZero(r[7].Bytes):
 				rep.add(Issue{Invariant: 2, Detail: "block 0 must have a null previous hash"})
-			case curID > 0 && curID != truncatedBefore:
+			case curID > 0 && curID != truncatedBefore && blocks == nil:
 				rep.add(Issue{Invariant: 2, Detail: fmt.Sprintf("chain starts at block %d with no truncation record covering it", curID)})
+			case curID > 0 && blocks != nil && curID > blocks.From && curID != truncatedBefore:
+				// Mid-range gap: the range's first present block is past
+				// From, so blocks are missing inside the range.
+				rep.add(Issue{Invariant: 2, Detail: fmt.Sprintf("block range [%d,%d] starts at block %d: earlier range blocks are missing", blocks.From, blocks.To, curID)})
 			}
 			continue
 		}
@@ -121,7 +149,7 @@ func allZero(b []byte) bool {
 // verifyBlockRootsQuery checks invariant 3: group the transaction entries
 // by block, aggregate their hashes with MERKLETREEAGG in ordinal order,
 // and outer-join against the blocks relation.
-func (l *LedgerDB) verifyBlockRootsQuery(entries map[uint64]*wal.LedgerEntry, rep *Report) {
+func (l *LedgerDB) verifyBlockRootsQuery(entries map[uint64]*wal.LedgerEntry, blocks *BlockRange, rep *Report) {
 	rep.TransactionsChecked = len(entries)
 	// Entry relation: [tx_id, block_id, ordinal, LEDGERHASH(entry)].
 	rows := make([]sqltypes.Row, 0, len(entries))
@@ -145,7 +173,7 @@ func (l *LedgerDB) verifyBlockRootsQuery(entries map[uint64]*wal.LedgerEntry, re
 	)) // -> [block_id, root, count, max_ordinal]
 
 	// Side A: every closed block must match its group's root and count.
-	joined := query.HashJoin(l.blocksRelation(), query.Values(grouped), []int{0}, []int{0}, query.LeftJoin, 4)
+	joined := query.HashJoin(l.blocksRelationRange(blocks, false), query.Values(grouped), []int{0}, []int{0}, query.LeftJoin, 4)
 	var maxClosed int64 = -1
 	for {
 		r, ok := joined.Next()
@@ -176,7 +204,7 @@ func (l *LedgerDB) verifyBlockRootsQuery(entries map[uint64]*wal.LedgerEntry, re
 	// Side B: every transaction in a closed block must belong to a block
 	// that exists (later transactions are still awaiting block close).
 	missing := query.Filter(
-		query.HashJoin(query.Values(grouped), l.blocksRelation(), []int{0}, []int{0}, query.LeftJoin, 6),
+		query.HashJoin(query.Values(grouped), l.blocksRelationRange(blocks, false), []int{0}, []int{0}, query.LeftJoin, 6),
 		func(r sqltypes.Row) bool { return r[4].Null && r[0].Int() <= maxClosed },
 	)
 	for {

@@ -30,6 +30,9 @@ const (
 	EventHealthChanged    = "health_changed"
 	EventSuperBlockClosed = "superblock_closed"
 	EventCrossShardCommit = "cross_shard_commit"
+	EventAuditPassStart   = "audit_pass_started"
+	EventAuditPassFinish  = "audit_pass_finished"
+	EventTamperLocalized  = "tamper_localized"
 )
 
 // EventAttr is one key/value attribute of an event.

@@ -64,6 +64,19 @@ const (
 	SuperblockCloseSeconds = "sqlledger_superblock_close_seconds"
 	SuperblocksClosedTotal = "sqlledger_superblocks_closed_total"
 
+	// Always-on auditor (internal/core/auditor.go).
+	// VerifiedThroughBlock is the persisted verification watermark: the
+	// highest block whose chain invariants the auditor has re-verified.
+	// AuditLagSeconds is how long ago the last audit cycle completed
+	// (refreshed per cycle and per health check). AuditBlocksCheckedTotal
+	// carries mode="incremental" for delta blocks and mode="sampled" for
+	// cold-history sweeps.
+	VerifiedThroughBlock    = "sqlledger_verified_through_block"
+	AuditLagSeconds         = "sqlledger_audit_lag_seconds"
+	AuditCyclesTotal        = "sqlledger_audit_cycles_total"
+	AuditBlocksCheckedTotal = "sqlledger_audit_blocks_checked_total" // label: mode
+	AuditCycleSeconds       = "sqlledger_audit_cycle_seconds"
+
 	// Health (internal/core): 0 healthy, 1 degraded, 2 unhealthy.
 	HealthStatus = "sqlledger_health_status"
 

@@ -45,6 +45,14 @@ func TestWritePrometheusGolden(t *testing.T) {
 	lag := r.Histogram(ReadSnapshotLagSeconds, []float64{1, 2, 4})
 	lag.Observe(1)
 	lag.Observe(3)
+	// The PR-8 always-on auditor names.
+	r.Gauge(VerifiedThroughBlock).Set(41)
+	r.Gauge(AuditLagSeconds).Set(2)
+	r.Counter(AuditCyclesTotal).Add(12)
+	r.Counter(AuditBlocksCheckedTotal, L("mode", "incremental")).Add(40)
+	r.Counter(AuditBlocksCheckedTotal, L("mode", "sampled")).Add(8)
+	cyc := r.Histogram(AuditCycleSeconds, []float64{1, 2})
+	cyc.Observe(1)
 
 	var buf bytes.Buffer
 	if err := r.WritePrometheus(&buf); err != nil {

@@ -36,6 +36,7 @@
 package sqlledger
 
 import (
+	"net/http"
 	"time"
 
 	"sqlledger/internal/blobstore"
@@ -155,6 +156,36 @@ type (
 	// VerifyProgress is one streaming progress update from a verification
 	// run (VerifyOptions.Progress).
 	VerifyProgress = core.VerifyProgress
+	// BlockRange restricts a Verify run to an inclusive block range
+	// (VerifyOptions.Blocks).
+	BlockRange = core.BlockRange
+
+	// Auditor is the always-on background verifier (DB.NewAuditor): a
+	// persisted verified-through watermark, incremental re-verification
+	// of new blocks, sampling sweeps over cold history and tamper
+	// localization down to block/transaction/row.
+	Auditor = core.Auditor
+	// AuditorOptions tunes an auditor's cycle interval and sampling.
+	AuditorOptions = core.AuditorOptions
+	// AuditStatus is an auditor snapshot, served at /debug/audit.
+	AuditStatus = core.AuditStatus
+	// TamperReport localizes a detected ledger mutation.
+	TamperReport = core.TamperReport
+	// AuditHealth folds auditor state into /healthz.
+	AuditHealth = core.AuditHealth
+	// ShardedAuditor fans one auditor per shard under the super-root
+	// (ShardedDB.NewAuditor).
+	ShardedAuditor = core.ShardedAuditor
+	// ShardedAuditStatus aggregates per-shard audit state.
+	ShardedAuditStatus = core.ShardedAuditStatus
+	// ShardedHealth is the sharded /healthz status (worst shard wins,
+	// super-block freshness included).
+	ShardedHealth = core.ShardedHealth
+	// ShardedHealthChecker evaluates every shard plus super-block
+	// freshness (ShardedDB.NewHealthChecker).
+	ShardedHealthChecker = core.ShardedHealthChecker
+	// ShardedDebug is the sharded /debug/ledger snapshot.
+	ShardedDebug = core.ShardedDebug
 
 	// Schema describes a table's columns and primary key.
 	Schema = sqltypes.Schema
@@ -260,6 +291,12 @@ func StartMetricsServer(addr string, reg *MetricsRegistry) (*MetricsServer, erro
 // /debug/ledger. Equivalent to db.StartOpsServer(addr).
 func StartOpsServer(addr string, db *DB) (*MetricsServer, error) {
 	return db.StartOpsServer(addr)
+}
+
+// ServeOps serves an arbitrary ops handler — typically DB.OpsHandler or
+// ShardedDB.OpsHandler built with custom HealthThresholds — at addr.
+func ServeOps(addr string, h http.Handler) (*MetricsServer, error) {
+	return obs.StartServerHandler(addr, h)
 }
 
 // StartRuntimeSampler samples Go runtime metrics (goroutines, heap, GC
