@@ -222,9 +222,13 @@ func BenchmarkDigestGeneration(b *testing.B) {
 
 // BenchmarkInstrumentationOverhead prices the observability layer on the
 // hot commit path: the same single-row-insert commit loop with the
-// default (enabled) registry and with metrics disabled. The delta is the
-// full cost of counters, stage timers, span hooks, the audit event log
-// and a background runtime sampler; the budget is <2% on durable
+// default (enabled) registry, with per-transaction tracing switched off,
+// and with metrics disabled entirely. The metrics deltas are the full
+// cost of counters, stage timers, span hooks, the audit event log and a
+// background runtime sampler; the trace=on/trace=off delta isolates the
+// tracing layer (trace allocation from the pool, per-stage span records,
+// the tail-sampling decision) and is gated ≤3% by
+// TestTracingOverheadGate. The budget is <2% for metrics on durable
 // (SyncFull) commits, the configuration the paper's commit experiments
 // use. The buffered mode exposes the absolute per-commit cost, since
 // there is no fsync to hide behind.
@@ -233,7 +237,8 @@ func BenchmarkInstrumentationOverhead(b *testing.B) {
 		name string
 		obs  func() *sqlledger.MetricsRegistry
 	}{
-		{"metrics=on", sqlledger.NewMetricsRegistry},
+		{"metrics=on/trace=on", sqlledger.NewMetricsRegistry},
+		{"metrics=on/trace=off", tracingOffRegistry},
 		{"metrics=off", sqlledger.DisabledMetrics},
 	}
 	syncs := []struct {

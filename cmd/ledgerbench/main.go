@@ -56,6 +56,8 @@ var (
 	// picks a free port (printed at startup).
 	metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/spans on this address (empty: off)")
 	statsEvery  = flag.Duration("stats-every", 0, "print a periodic stats line from the metrics registry (0: off)")
+	slowMS      = flag.Int("slow-ms", 100, "slow-query threshold in milliseconds: transactions at or above it are always trace-retained and logged to /debug/slow (0: retain every trace)")
+	traceSample = flag.Float64("trace-sample", 0.01, "fraction of fast, error-free traces retained, 0..1")
 )
 
 // reg is shared by every database the benchmark opens, so the stats
@@ -76,6 +78,8 @@ func burn(d time.Duration) {
 
 func main() {
 	flag.Parse()
+	reg.Traces().SetSlowThreshold(time.Duration(*slowMS) * time.Millisecond)
+	reg.Traces().SetSampleRate(*traceSample)
 	base := *dirFlag
 	if base == "" {
 		var err error

@@ -49,6 +49,8 @@ var metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and 
 var shards = flag.Int("shards", 1, "shard the database across N engine instances under one signed super-root (>1 enables sharded mode)")
 var auditInterval = flag.Duration("audit-interval", time.Second, "always-on auditor cycle interval (audit, serve)")
 var auditSample = flag.Float64("audit-sample", 0, "fraction of cold blocks the auditor re-checks per cycle, 0..1 (audit, serve)")
+var slowMS = flag.Int("slow-ms", 100, "slow-query threshold in milliseconds: transactions at or above it are always trace-retained and logged to /debug/slow (0: retain every trace)")
+var traceSample = flag.Float64("trace-sample", 0.01, "fraction of fast, error-free traces retained, 0..1")
 
 func auditOpts() sqlledger.AuditorOptions {
 	return sqlledger.AuditorOptions{Interval: *auditInterval, SampleFraction: *auditSample}
@@ -61,6 +63,8 @@ func main() {
 		usage()
 	}
 	reg := sqlledger.NewMetricsRegistry()
+	reg.Traces().SetSlowThreshold(time.Duration(*slowMS) * time.Millisecond)
+	reg.Traces().SetSampleRate(*traceSample)
 	if *shards > 1 {
 		shardedMain(reg, args)
 		return

@@ -36,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -388,6 +389,7 @@ func (a *Auditor) RunCycle() AuditStatus {
 	start := time.Now()
 
 	l := a.l
+	sp := l.obs.Tracer().Start("audit_cycle")
 	truncatedBefore, truncatedMaxTx := l.truncationInfo()
 	l.closeMu.Lock()
 	target := l.closedThrough
@@ -451,9 +453,14 @@ func (a *Auditor) RunCycle() AuditStatus {
 	a.mCycleSeconds.Observe(dur.Seconds())
 	a.mLag.Set(0)
 
-	// Events: only cycles that did work (or found damage) are recorded,
-	// so an idle 1s loop does not flush the bounded event ring.
+	// Events and spans: only cycles that did work (or found damage) are
+	// recorded, so an idle 1s loop does not flush the bounded rings.
 	if incChecked > 0 || sampChecked > 0 || report != nil {
+		sp.Annotate(
+			obs.L("incremental_blocks", strconv.FormatInt(incChecked, 10)),
+			obs.L("sampled_blocks", strconv.FormatInt(sampChecked, 10)),
+			obs.L("ok", strconv.FormatBool(report == nil)))
+		sp.Finish(nil)
 		ev := l.obs.Events()
 		ev.Info(obs.EventAuditPassStart,
 			"watermark", wmBefore, "target", target, "sample_fraction", a.opts.SampleFraction)

@@ -457,18 +457,36 @@ type ShardedTx struct {
 	txs  []*Tx // index = shard; nil until touched
 	done bool
 
+	// trace is the coordinator-owned trace shared by every participant,
+	// so one trace ID spans both shard prepares and the decision log of a
+	// cross-shard commit. nil when tracing is off.
+	trace *obs.Trace
+
 	keyBuf [8]sqltypes.Value // routing scratch
 }
 
 // Begin starts a sharded transaction on behalf of user.
 func (s *ShardedDB) Begin(user string) *ShardedTx {
-	return &ShardedTx{s: s, user: user, txs: make([]*Tx, len(s.shards))}
+	return &ShardedTx{s: s, user: user, txs: make([]*Tx, len(s.shards)), trace: s.obs.NewTrace("tx")}
+}
+
+// Trace returns the transaction's trace (nil when tracing is off).
+func (stx *ShardedTx) Trace() *obs.Trace { return stx.trace }
+
+// finishTrace ends the coordinator-owned trace. Participants drop their
+// references during their own commit/abort/rollback, so by the time either
+// Commit or Rollback calls this, the coordinator holds the last one.
+func (stx *ShardedTx) finishTrace(err error) {
+	if stx.trace != nil {
+		stx.trace.Finish(err)
+		stx.trace = nil
+	}
 }
 
 // at returns (creating if needed) the participant on shard i.
 func (stx *ShardedTx) at(i int) *Tx {
 	if stx.txs[i] == nil {
-		stx.txs[i] = stx.s.shards[i].Begin(stx.user)
+		stx.txs[i] = stx.s.shards[i].beginWithTrace(stx.user, stx.trace)
 	}
 	return stx.txs[i]
 }
@@ -595,7 +613,13 @@ func (stx *ShardedTx) Commit() error {
 		return ErrTxUsed
 	}
 	stx.done = true
+	err := stx.commit()
+	stx.finishTrace(err)
+	return err
+}
 
+// commit is Commit's body; the caller finishes the trace with its result.
+func (stx *ShardedTx) commit() error {
 	var writers, readers []int
 	for i, tx := range stx.txs {
 		if tx == nil {
@@ -630,12 +654,33 @@ func (stx *ShardedTx) Commit() error {
 	// Cross-shard path: two-phase commit with a presumed-abort decision
 	// log. Phase 1 makes every participant's write set durable with its
 	// locks held; the decision-log append is the commit point; phase 2
-	// runs each shard's commit-pipeline tail.
+	// runs each shard's commit-pipeline tail. Each leg is a span on the
+	// coordinator's trace (the engine records no stage spans on the
+	// prepared path, so these wrappers are the trace's view of 2PC time).
 	s := stx.s
 	s.m.crossTx.Inc()
 	gid := s.gid.Add(1)
+	tr := stx.trace
+	span := func(name string, start time.Time, attrs ...obs.Label) {
+		if tr != nil {
+			tr.Record(name, 0, start, time.Since(start), attrs...)
+		}
+	}
+	now := func() (t time.Time) {
+		if tr != nil {
+			t = time.Now()
+		}
+		return
+	}
+	if tr != nil {
+		tr.SetAttr("gid", strconv.FormatUint(gid, 10))
+		tr.SetAttr("shards", strconv.Itoa(len(writers)))
+	}
 	for n, i := range writers {
-		if err := stx.txs[i].prepare(gid); err != nil {
+		start := now()
+		err := stx.txs[i].prepare(gid)
+		span(obs.SpanShardPrepare, start, obs.L("shard", strconv.Itoa(i)))
+		if err != nil {
 			for _, j := range writers[:n] {
 				stx.txs[j].abortPrepared()
 			}
@@ -649,19 +694,25 @@ func (stx *ShardedTx) Commit() error {
 	if s.hookAfterPrepare != nil {
 		s.hookAfterPrepare()
 	}
+	decideStart := now()
 	if err := s.dlog.commit(gid); err != nil {
 		// The decision never became durable: presumed abort.
+		span(obs.SpanShardDecide, decideStart)
 		for _, j := range writers {
 			stx.txs[j].abortPrepared()
 		}
 		return fmt.Errorf("core: cross-shard decision log: %w", err)
 	}
+	span(obs.SpanShardDecide, decideStart)
 	if s.hookAfterDecision != nil {
 		s.hookAfterDecision()
 	}
 	var first error
 	for _, i := range writers {
-		if _, err := stx.txs[i].commitPrepared(); err != nil && first == nil {
+		commitStart := now()
+		_, err := stx.txs[i].commitPrepared()
+		span(obs.SpanShardCommit, commitStart, obs.L("shard", strconv.Itoa(i)))
+		if err != nil && first == nil {
 			// The decision is durable; recovery will finish this shard.
 			first = fmt.Errorf("core: cross-shard commit on shard %d: %w", i, err)
 			continue
@@ -690,5 +741,6 @@ func (stx *ShardedTx) Rollback() error {
 			first = err
 		}
 	}
+	stx.finishTrace(nil)
 	return first
 }

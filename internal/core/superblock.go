@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -169,11 +170,16 @@ const superBlockFile = "superblock.json"
 // at any point in the database's life.
 func (s *ShardedDB) CloseSuperBlock() (sb *SuperBlock, err error) {
 	start := time.Now()
+	sp := s.obs.Tracer().Start("close_superblock")
 	defer func() {
 		if err == nil {
 			s.m.superSeconds.ObserveSince(start)
 			s.m.superClosed.Inc()
+			sp.Annotate(
+				obs.L("seq", strconv.FormatUint(sb.SeqNo, 10)),
+				obs.L("shards", strconv.Itoa(sb.Shards)))
 		}
+		sp.Finish(err)
 	}()
 	s.smu.Lock()
 	defer s.smu.Unlock()
@@ -251,22 +257,27 @@ func superBlobName(dbName string, seq uint64) string {
 // storage, enforcing the same immutability rule as per-shard digest
 // uploads: a slot can only ever hold one super-block, and finding a
 // different one there means the sharded ledger forked.
-func (s *ShardedDB) UploadSuperBlock(store blobstore.Store) (*SuperBlock, error) {
+func (s *ShardedDB) UploadSuperBlock(store blobstore.Store) (out *SuperBlock, err error) {
 	store = blobstore.Instrument(store, s.obs)
+	sp := s.obs.Tracer().Start("upload_superblock")
+	defer func() { sp.Finish(err) }()
 	sb, err := s.CloseSuperBlock()
 	if err != nil {
 		return nil, err
 	}
+	sp.Annotate(
+		obs.L("seq", strconv.FormatUint(sb.SeqNo, 10)),
+		obs.L("shards", strconv.Itoa(sb.Shards)))
 	name := superBlobName(sb.DatabaseName, sb.SeqNo)
-	if err := store.Put(name, sb.JSON()); err != nil {
+	if perr := store.Put(name, sb.JSON()); perr != nil {
 		if b, gerr := store.Get(name); gerr == nil {
-			prev, perr := ParseSuperBlock(b)
-			if perr == nil && prev.Root == sb.Root && prev.SeqNo == sb.SeqNo {
+			prev, parseErr := ParseSuperBlock(b)
+			if parseErr == nil && prev.Root == sb.Root && prev.SeqNo == sb.SeqNo {
 				return prev, nil
 			}
 			return nil, fmt.Errorf("core: immutable store already holds a DIFFERENT super-block %d — forked ledger", sb.SeqNo)
 		}
-		return nil, err
+		return nil, perr
 	}
 	return sb, nil
 }

@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"runtime"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sqlledger/internal/engine"
 	"sqlledger/internal/merkle"
+	"sqlledger/internal/obs"
 	"sqlledger/internal/serial"
 	"sqlledger/internal/sqltypes"
 	"sqlledger/internal/wal"
@@ -31,6 +34,13 @@ type Tx struct {
 	// allocate none of it, and it is recycled through txStatePool when the
 	// transaction finishes.
 	state *txState
+
+	// trace is the transaction's end-to-end trace (nil when tracing is
+	// off). ownsTrace marks the transaction that created it and must
+	// finish it; a 2PC participant shares the coordinator's trace and
+	// never finishes it.
+	trace     *obs.Trace
+	ownsTrace bool
 }
 
 // txState is the pooled ledger bookkeeping of one transaction.
@@ -58,9 +68,63 @@ type treeSnap struct {
 	snap    merkle.Snapshot
 }
 
-// Begin starts a ledger transaction on behalf of user.
+// Begin starts a ledger transaction on behalf of user. When tracing is
+// enabled the transaction gets a fresh trace rooted here: the engine and
+// WAL contribute child spans (lock waits, row hashing, encode, group
+// commit, apply), and Commit/Rollback decide retention (tail sampling).
 func (l *LedgerDB) Begin(user string) *Tx {
-	return &Tx{l: l, etx: l.edb.Begin(user)}
+	tx := &Tx{l: l, etx: l.edb.Begin(user)}
+	if tr := l.obs.NewTrace("tx"); tr != nil {
+		tx.trace = tr
+		tx.ownsTrace = true
+		tx.etx.SetTrace(tr)
+	}
+	return tx
+}
+
+// beginWithTrace starts a transaction that records into tr without owning
+// it — the 2PC participant path, where the sharded coordinator holds one
+// trace spanning every shard's legs.
+func (l *LedgerDB) beginWithTrace(user string, tr *obs.Trace) *Tx {
+	tx := &Tx{l: l, etx: l.edb.Begin(user)}
+	if tr != nil {
+		tx.trace = tr
+		tx.etx.SetTrace(tr)
+	}
+	return tx
+}
+
+// Trace returns the transaction's trace (nil when tracing is off). Callers
+// may annotate it with statement or application context.
+func (tx *Tx) Trace() *obs.Trace { return tx.trace }
+
+// finishTrace ends the transaction's trace if this transaction owns it,
+// and drops every reference to it either way (a finished trace is recycled;
+// the engine transaction must not record into it afterwards). Idempotent:
+// a failed Commit finishes the error trace, and the caller's deferred
+// Rollback then finds nothing left to finish.
+func (tx *Tx) finishTrace(err error) {
+	if tx.trace == nil {
+		return
+	}
+	if tx.ownsTrace {
+		tx.trace.SetAttr(obs.AttrRows, strconv.Itoa(tx.etx.WriteCount()))
+		tx.trace.Finish(err)
+	}
+	tx.trace = nil
+	tx.etx.SetTrace(nil)
+}
+
+// hashRow hashes one row version, accumulating the time spent into the
+// transaction's row_hash span when tracing.
+func (tx *Tx) hashRow(s *sqltypes.Schema, r sqltypes.Row, op serial.OpType, skip serial.SkipMask) merkle.Hash {
+	if tx.trace == nil {
+		return serial.HashRow(s, r, op, skip)
+	}
+	start := time.Now()
+	h := serial.HashRow(s, r, op, skip)
+	tx.trace.AddTimed(obs.SpanRowHash, start, time.Since(start))
+	return h
 }
 
 // ID returns the transaction id.
@@ -125,7 +189,7 @@ func (tx *Tx) Insert(lt *LedgerTable, visible sqltypes.Row) error {
 	if _, err := tx.etx.Insert(lt.table, full); err != nil {
 		return err
 	}
-	tx.tree(lt).Append(serial.HashRow(lt.table.Schema(), full, serial.OpInsert, lt.skipEnd))
+	tx.tree(lt).Append(tx.hashRow(lt.table.Schema(), full, serial.OpInsert, lt.skipEnd))
 	tx.l.m.rowsHashed.Inc()
 	return nil
 }
@@ -219,6 +283,14 @@ func (tx *Tx) InsertBatchParallel(lt *LedgerTable, rows []sqltypes.Row, workers 
 	ncols := len(schema.Columns)
 	slab := make([]sqltypes.Value, n*ncols)
 
+	// A batch contributes one accumulated row_hash span covering the whole
+	// parallel phase (per-row timing at this rate would cost more clock
+	// reads than hashing).
+	var hashStart time.Time
+	if tx.trace != nil {
+		hashStart = time.Now()
+	}
+
 	// Workers pull row indices off a shared counter and do the expensive
 	// per-row work: storage-row construction, validation, clustered-key
 	// encoding and SHA-256 row hashing.
@@ -254,6 +326,9 @@ func (tx *Tx) InsertBatchParallel(lt *LedgerTable, rows []sqltypes.Row, workers 
 		}()
 	}
 	wg.Wait()
+	if tx.trace != nil {
+		tx.trace.AddTimed(obs.SpanRowHash, hashStart, time.Since(hashStart))
+	}
 
 	// Apply serially in row order: engine write, then Merkle append —
 	// the same per-row order as Insert, so WAL records and tree leaves
@@ -294,7 +369,7 @@ func (tx *Tx) Delete(lt *LedgerTable, keyVals ...sqltypes.Value) error {
 	if _, err := tx.etx.Insert(lt.history, ended); err != nil {
 		return err
 	}
-	tx.tree(lt).Append(serial.HashRow(lt.table.Schema(), ended, serial.OpDelete, nil))
+	tx.tree(lt).Append(tx.hashRow(lt.table.Schema(), ended, serial.OpDelete, nil))
 	tx.l.m.rowsHashed.Inc()
 	return nil
 }
@@ -322,8 +397,8 @@ func (tx *Tx) Update(lt *LedgerTable, visible sqltypes.Row) error {
 		return err
 	}
 	tr := tx.tree(lt)
-	tr.Append(serial.HashRow(lt.table.Schema(), ended, serial.OpDelete, nil))
-	tr.Append(serial.HashRow(lt.table.Schema(), newFull, serial.OpInsert, lt.skipEnd))
+	tr.Append(tx.hashRow(lt.table.Schema(), ended, serial.OpDelete, nil))
+	tr.Append(tx.hashRow(lt.table.Schema(), newFull, serial.OpInsert, lt.skipEnd))
 	tx.l.m.rowsHashed.Add(2)
 	return nil
 }
@@ -349,7 +424,7 @@ func (tx *Tx) refreshRow(lt *LedgerTable, key []byte) error {
 	if _, err := tx.etx.UpdateByKey(lt.table, key, next); err != nil {
 		return err
 	}
-	tx.tree(lt).Append(serial.HashRow(lt.table.Schema(), next, serial.OpInsert, lt.skipEnd))
+	tx.tree(lt).Append(tx.hashRow(lt.table.Schema(), next, serial.OpInsert, lt.skipEnd))
 	tx.l.m.rowsHashed.Inc()
 	return nil
 }
@@ -444,6 +519,9 @@ func (tx *Tx) CommitTS() (int64, error) {
 		// releases the state then.
 		tx.releaseState()
 	}
+	// Finish the trace either way: a failed commit's trace is retained as
+	// an error trace now, not when the caller eventually rolls back.
+	tx.finishTrace(err)
 	return ts, err
 }
 
@@ -483,6 +561,7 @@ func (tx *Tx) commitPrepared() (int64, error) {
 	if err == nil {
 		tx.releaseState()
 	}
+	tx.finishTrace(err)
 	return ts, err
 }
 
@@ -490,6 +569,7 @@ func (tx *Tx) commitPrepared() (int64, error) {
 func (tx *Tx) abortPrepared() error {
 	err := tx.l.edb.AbortPrepared(tx.etx)
 	tx.releaseState()
+	tx.finishTrace(err)
 	return err
 }
 
@@ -497,6 +577,7 @@ func (tx *Tx) abortPrepared() error {
 func (tx *Tx) Rollback() error {
 	err := tx.etx.Rollback()
 	tx.releaseState()
+	tx.finishTrace(nil)
 	if err == engine.ErrTxDone {
 		return nil
 	}

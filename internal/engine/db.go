@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -140,6 +141,7 @@ type DB struct {
 type dbMetrics struct {
 	commits       *obs.Counter
 	rollbacks     *obs.Counter
+	stageEncode   *obs.Histogram
 	stageSequence *obs.Histogram
 	stagePublish  *obs.Histogram
 	stageWait     *obs.Histogram
@@ -154,6 +156,7 @@ func bindDBMetrics(reg *obs.Registry) dbMetrics {
 	return dbMetrics{
 		commits:       reg.Counter(obs.EngineCommitTotal),
 		rollbacks:     reg.Counter(obs.EngineRollbackTotal),
+		stageEncode:   reg.Histogram(obs.CommitStageSeconds, nil, obs.L("stage", "encode")),
 		stageSequence: reg.Histogram(obs.CommitStageSeconds, nil, obs.L("stage", "sequence")),
 		stagePublish:  reg.Histogram(obs.CommitStageSeconds, nil, obs.L("stage", "publish")),
 		stageWait:     reg.Histogram(obs.CommitStageSeconds, nil, obs.L("stage", "wait")),
@@ -361,6 +364,13 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 	db.quiesce.RLock()
 	defer db.quiesce.RUnlock()
 
+	// The lap timer reads the clock only when the registry is enabled, so
+	// the metrics-off ablation skips all stage observations. When the
+	// transaction carries a trace, every lap also lands as a top-level
+	// child span — the commit waterfall — from the same clock reads.
+	tr := tx.trace
+	lap := db.obs.Timer()
+
 	// Build the WAL batch outside the critical section. All DML payloads
 	// are encoded into one shared arena sized from a per-row hint; a
 	// record's payload slice stays valid even if a later append grows the
@@ -387,9 +397,7 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 		})
 	}
 
-	// The lap timer reads the clock only when the registry is enabled, so
-	// the metrics-off ablation skips all four stage observations.
-	lap := db.obs.Timer()
+	lap.LapSpan(db.m.stageEncode, tr, obs.SpanWALEncode)
 
 	// Stage 1 — sequence. Publishing lastCommitTS and registering the
 	// timestamp as in-flight happen under one inflightMu critical section
@@ -426,19 +434,38 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 	// Stages 2 and 3 — publish, then wait for durability off the
 	// critical section. The serialized path (GroupCommit.Disabled) keeps
 	// the append inside commitMu like the pre-pipeline engine did.
-	lap.Lap(db.m.stageSequence)
+	lap.LapSpan(db.m.stageSequence, tr, obs.SpanCommitSequence)
 	var err error
 	if db.committer != nil {
-		ticket := db.committer.Enqueue(recs)
+		var ticket *wal.Ticket
+		if tr != nil {
+			ticket = db.committer.EnqueueTraced(recs)
+		} else {
+			ticket = db.committer.Enqueue(recs)
+		}
 		db.commitMu.Unlock()
-		lap.Lap(db.m.stagePublish)
+		lap.LapSpan(db.m.stagePublish, tr, obs.SpanCommitPublish)
 		_, err = ticket.Wait()
-		lap.Lap(db.m.stageWait)
+		waitID := lap.LapSpan(db.m.stageWait, tr, obs.SpanCommitWait)
+		if tr != nil {
+			// Split the durability wait into its two legs: waiting for the
+			// group to form (enqueue → flush start) and the group's shared
+			// append+fsync, annotated with how many commits amortized it.
+			enq, fs, fd, gsize, grecs := ticket.GroupTimings()
+			if !fs.IsZero() {
+				if !enq.IsZero() && fs.After(enq) {
+					tr.Record(obs.SpanWALGroupForm, waitID, enq, fs.Sub(enq))
+				}
+				tr.Record(obs.SpanWALFlush, waitID, fs, fd,
+					obs.L("group_size", strconv.Itoa(gsize)),
+					obs.L("group_records", strconv.Itoa(grecs)))
+			}
+		}
 	} else {
 		// Serialized path: the append is both publish and wait.
 		_, err = db.log.AppendBatch(recs)
 		db.commitMu.Unlock()
-		lap.Lap(db.m.stagePublish)
+		lap.LapSpan(db.m.stagePublish, tr, obs.SpanCommitPublish)
 	}
 	if err != nil {
 		// Known limitation: if the log write fails (disk full, I/O error)
@@ -461,7 +488,7 @@ func (db *DB) Commit(tx *Tx) (int64, error) {
 	db.markApplied(now)
 	tx.done = true
 	tx.releaseLocks()
-	lap.Lap(db.m.stageApply)
+	lap.LapSpan(db.m.stageApply, tr, obs.SpanCommitApply)
 	db.m.commits.Inc()
 	return now, nil
 }

@@ -67,6 +67,16 @@ func (lt *lockTable) shard(k lockKey) *lockShard {
 // acquire takes the exclusive lock on (table, key) for owner, waiting up
 // to timeout. Re-acquisition by the current owner succeeds immediately.
 func (lt *lockTable) acquire(owner uint64, table uint32, key []byte, timeout time.Duration) error {
+	_, _, err := lt.acquireTraced(owner, table, key, timeout, 0)
+	return err
+}
+
+// acquireTraced is acquire plus trace linkage: a contended wait is
+// observed into the wait histogram with tid as the bucket exemplar, and
+// the wait duration and its start are returned (zero when the fast path
+// hit) so the caller can record a trace span. The uncontended path still
+// never reads the clock.
+func (lt *lockTable) acquireTraced(owner uint64, table uint32, key []byte, timeout time.Duration, tid obs.TraceID) (time.Duration, time.Time, error) {
 	k := lockKey{table: table, key: string(key)}
 	s := lt.shard(k)
 	deadline := time.Now().Add(timeout)
@@ -77,14 +87,16 @@ func (lt *lockTable) acquire(owner uint64, table uint32, key []byte, timeout tim
 		if !ok {
 			s.m[k] = rowLock{owner: owner}
 			s.mu.Unlock()
+			var waited time.Duration
 			if !waitStart.IsZero() {
-				lt.waitSeconds.ObserveSince(waitStart)
+				waited = time.Since(waitStart)
+				lt.waitSeconds.ObserveTraced(waited.Seconds(), tid)
 			}
-			return nil
+			return waited, waitStart, nil
 		}
 		if l.owner == owner {
 			s.mu.Unlock()
-			return nil
+			return 0, waitStart, nil
 		}
 		if l.released == nil {
 			l.released = make(chan struct{})
@@ -98,7 +110,7 @@ func (lt *lockTable) acquire(owner uint64, table uint32, key []byte, timeout tim
 		wait := time.Until(deadline)
 		if wait <= 0 {
 			lt.timeouts.Inc()
-			return ErrLockTimeout
+			return time.Since(waitStart), waitStart, ErrLockTimeout
 		}
 		t := time.NewTimer(wait)
 		select {
@@ -119,7 +131,7 @@ func (lt *lockTable) acquire(owner uint64, table uint32, key []byte, timeout tim
 			default:
 			}
 			lt.timeouts.Inc()
-			return ErrLockTimeout
+			return time.Since(waitStart), waitStart, ErrLockTimeout
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sqlledger/internal/obs"
 	"sqlledger/internal/sqltypes"
 	"sqlledger/internal/wal"
 )
@@ -46,6 +47,11 @@ type Tx struct {
 	// inDoubt marks a transaction reconstructed by recovery; resolving it
 	// removes it from db.inDoubt (single-threaded, during open).
 	inDoubt bool
+
+	// trace is the transaction's end-to-end trace (nil when tracing is
+	// off). The engine contributes lock-wait, WAL-encode and commit-stage
+	// spans; owners (the ledger core) create and finish it.
+	trace *obs.Trace
 
 	// Roots is filled by the ledger core before commit with the per-table
 	// Merkle roots of the row versions this transaction updated.
@@ -100,6 +106,13 @@ func (tx *Tx) NextSeq() uint32 {
 // CurrentSeq returns the last sequence number handed out.
 func (tx *Tx) CurrentSeq() uint32 { return tx.seq }
 
+// SetTrace attaches the transaction's trace (nil is fine). The caller
+// that sets it owns Finish; the engine only records spans into it.
+func (tx *Tx) SetTrace(tr *obs.Trace) { tx.trace = tr }
+
+// Trace returns the transaction's trace (nil when tracing is off).
+func (tx *Tx) Trace() *obs.Trace { return tx.trace }
+
 func (tx *Tx) overlayFor(tableID uint32) *overlay {
 	ov := tx.overlays[tableID]
 	if ov == nil {
@@ -114,7 +127,13 @@ func (tx *Tx) lock(t *Table, key []byte) error {
 	if _, held := tx.locks[lk]; held {
 		return nil
 	}
-	if err := tx.db.locks.acquire(tx.id, t.meta.ID, key, tx.db.opts.LockTimeout); err != nil {
+	wait, start, err := tx.db.locks.acquireTraced(tx.id, t.meta.ID, key, tx.db.opts.LockTimeout, tx.trace.ID())
+	if wait > 0 {
+		// Contended only: the trace accumulates every lock wait in the
+		// transaction into one span; the uncontended path records nothing.
+		tx.trace.AddTimed(obs.SpanLockWait, start, wait)
+	}
+	if err != nil {
 		return fmt.Errorf("%w (table %s)", err, t.meta.Name)
 	}
 	tx.locks[lk] = struct{}{}

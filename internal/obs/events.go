@@ -33,6 +33,7 @@ const (
 	EventAuditPassStart   = "audit_pass_started"
 	EventAuditPassFinish  = "audit_pass_finished"
 	EventTamperLocalized  = "tamper_localized"
+	EventSlowQuery        = "slow_query"
 )
 
 // EventAttr is one key/value attribute of an event.

@@ -14,6 +14,10 @@ import (
 //	/metrics       Prometheus text exposition (runtime-sampled per scrape)
 //	/debug/spans   recent finished spans as JSON (?n=N limits the count)
 //	/debug/events  recent audit events as JSON (?n=N, ?type=T filter)
+//	/debug/trace   one retained trace by ?id= (waterfall; ?format=text
+//	               renders it as indented text); without id, recent
+//	               retained traces (?n=N)
+//	/debug/slow    recent slow-query log entries as JSON (?n=N)
 //	/debug/pprof/  Go profiling endpoints (heap, goroutine, profile, …)
 //
 // Callers that serve additional endpoints (core's /healthz and
@@ -43,6 +47,40 @@ func Mux(r *Registry) *http.ServeMux {
 			events = []Event{}
 		}
 		writeJSON(w, events)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		idStr := req.URL.Query().Get("id")
+		if idStr == "" {
+			traces := r.Traces().Recent(queryInt(req, "n"))
+			if traces == nil {
+				traces = []*TraceRecord{}
+			}
+			writeJSON(w, traces)
+			return
+		}
+		id, err := ParseTraceID(idStr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rec, ok := r.Traces().Get(id)
+		if !ok {
+			http.Error(w, "trace not retained (evicted, sampled out, or never existed)", http.StatusNotFound)
+			return
+		}
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			WriteWaterfall(w, rec)
+			return
+		}
+		writeJSON(w, rec)
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, req *http.Request) {
+		slow := r.Traces().RecentSlow(queryInt(req, "n"))
+		if slow == nil {
+			slow = []*SlowQuery{}
+		}
+		writeJSON(w, slow)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -96,4 +96,12 @@ const (
 	// Workload driver (internal/workload)
 	WorkloadCommitsTotal = "sqlledger_workload_commits_total"
 	WorkloadErrorsTotal  = "sqlledger_workload_errors_total"
+
+	// Transaction tracing (internal/obs/txtrace.go).
+	// TracesTotal counts finished traces by retention decision
+	// (decision=slow|error|sampled|dropped). StatementSeconds observes
+	// end-to-end latency per statement fingerprint (label: stmt) and
+	// carries trace exemplars, as does CommitStageSeconds.
+	TracesTotal      = "sqlledger_traces_total"      // label: decision
+	StatementSeconds = "sqlledger_statement_seconds" // label: stmt
 )

@@ -130,8 +130,20 @@ type Histogram struct {
 	labels []Label
 	bounds []float64 // ascending upper bounds, +Inf implicit
 	counts []atomic.Int64
+	exem   []bucketExemplar // one per bucket, parallel to counts
 	sum    atomicFloat
 	on     bool
+}
+
+// bucketExemplar remembers the most recent traced observation that
+// landed in its bucket — the link from a histogram bucket back to a
+// full trace. Last write wins; each field is an independent atomic, so
+// a concurrent reader can pair a value with a neighboring write's trace
+// ID, which is acceptable for a debugging affordance.
+type bucketExemplar struct {
+	id    atomic.Uint64 // TraceID, 0 = none
+	vbits atomic.Uint64 // float64 bits of the observed value
+	tsns  atomic.Int64  // observation time, unix nanos
 }
 
 // Observe records one value. Every observation lands in exactly one
@@ -152,6 +164,32 @@ func (h *Histogram) ObserveSince(t0 time.Time) {
 		return
 	}
 	h.Observe(time.Since(t0).Seconds())
+}
+
+// ObserveTraced records one value and stamps the bucket's exemplar with
+// the observing trace's ID, so /metrics links the bucket to a concrete
+// trace. A zero id degrades to a plain Observe.
+func (h *Histogram) ObserveTraced(v float64, id TraceID) {
+	if h == nil || !h.on {
+		return
+	}
+	if id == 0 {
+		h.Observe(v)
+		return
+	}
+	h.observeTraced(v, id, time.Now())
+}
+
+func (h *Histogram) observeTraced(v float64, id TraceID, now time.Time) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	if id != 0 {
+		e := &h.exem[i]
+		e.id.Store(uint64(id))
+		e.vbits.Store(math.Float64bits(v))
+		e.tsns.Store(now.UnixNano())
+	}
 }
 
 // Count returns the number of observations.
@@ -200,6 +238,27 @@ func (t *LapTimer) Skip() {
 	}
 }
 
+// LapSpan is Lap plus tracing: the stage duration is observed into h
+// (stamping the bucket exemplar with the trace ID) and recorded as a
+// top-level child span on tr, all from a single clock read. Returns the
+// new span's ID so callers can attach children (tr nil → plain Lap).
+func (t *LapTimer) LapSpan(h *Histogram, tr *Trace, name string) SpanID {
+	if !t.on {
+		return 0
+	}
+	now := time.Now()
+	d := now.Sub(t.last)
+	var id SpanID
+	if tr != nil {
+		h.observeTraced(d.Seconds(), tr.ID(), now)
+		id = tr.Record(name, 0, t.last, d)
+	} else {
+		h.Observe(d.Seconds())
+	}
+	t.last = now
+	return id
+}
+
 // Registry is a named collection of metrics plus a span tracer. The nil
 // Registry and the Disabled() registry are both valid: every metric they
 // produce is inert, so instrumented code never branches on registry
@@ -211,6 +270,7 @@ type Registry struct {
 	hists    map[string]*Histogram
 	tracer   *Tracer
 	events   *EventLog
+	traces   *TraceStore
 	enabled  bool
 
 	// runtime sampler state (see runtime.go)
@@ -220,7 +280,7 @@ type Registry struct {
 
 // NewRegistry returns an enabled, empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
@@ -228,6 +288,8 @@ func NewRegistry() *Registry {
 		events:   newEventLog(defaultEventRing, true),
 		enabled:  true,
 	}
+	r.traces = newTraceStore(r, true)
+	return r
 }
 
 // Disabled returns a registry whose metrics, tracer and event log are
@@ -238,6 +300,7 @@ func Disabled() *Registry {
 	r.enabled = false
 	r.tracer = newTracer(0, false)
 	r.events = newEventLog(0, false)
+	r.traces = newTraceStore(r, false)
 	return r
 }
 
@@ -268,6 +331,25 @@ func (r *Registry) Events() *EventLog {
 		return nil
 	}
 	return r.events
+}
+
+// Traces returns the registry's transaction trace store (inert for
+// nil/disabled registries).
+func (r *Registry) Traces() *TraceStore {
+	if r == nil {
+		return nil
+	}
+	return r.traces
+}
+
+// NewTrace starts a per-transaction trace, or returns nil when the
+// registry is nil/disabled or tracing is turned off — a nil *Trace is
+// safe everywhere downstream.
+func (r *Registry) NewTrace(name string) *Trace {
+	if r == nil {
+		return nil
+	}
+	return r.traces.New(name)
 }
 
 // seriesKey identifies one (name, labels) series. Labels are sorted by
@@ -362,6 +444,7 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *H
 		labels: labels,
 		bounds: append([]float64(nil), buckets...),
 		counts: make([]atomic.Int64, len(buckets)+1),
+		exem:   make([]bucketExemplar, len(buckets)+1),
 		on:     r.enabled,
 	}
 	r.hists[key] = h
@@ -389,6 +472,16 @@ type GaugeSnapshot struct {
 type BucketSnapshot struct {
 	UpperBound float64 // math.Inf(1) for the +Inf bucket
 	Count      int64
+	// Exemplar is the most recent traced observation that landed in this
+	// bucket's (non-cumulative) range, nil if none.
+	Exemplar *Exemplar
+}
+
+// Exemplar links a histogram bucket to one concrete trace.
+type Exemplar struct {
+	TraceID string    `json:"trace_id"`
+	Value   float64   `json:"value"`
+	Time    time.Time `json:"time"`
 }
 
 // HistogramSnapshot is one histogram series at a point in time, with
@@ -526,7 +619,15 @@ func (r *Registry) Snapshot() Snapshot {
 			if i < len(h.bounds) {
 				bound = h.bounds[i]
 			}
-			hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: bound, Count: cum})
+			bs := BucketSnapshot{UpperBound: bound, Count: cum}
+			if id := h.exem[i].id.Load(); id != 0 {
+				bs.Exemplar = &Exemplar{
+					TraceID: TraceID(id).String(),
+					Value:   math.Float64frombits(h.exem[i].vbits.Load()),
+					Time:    time.Unix(0, h.exem[i].tsns.Load()),
+				}
+			}
+			hs.Buckets = append(hs.Buckets, bs)
 		}
 		hs.Count = cum
 		hs.P50 = hs.Quantile(0.50)

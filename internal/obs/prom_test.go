@@ -53,6 +53,12 @@ func TestWritePrometheusGolden(t *testing.T) {
 	r.Counter(AuditBlocksCheckedTotal, L("mode", "sampled")).Add(8)
 	cyc := r.Histogram(AuditCycleSeconds, []float64{1, 2})
 	cyc.Observe(1)
+	// The PR-9 tracing names: traced observations stamp their bucket
+	// with an OpenMetrics exemplar carrying the trace ID.
+	ex := r.Histogram("sqlledger_test_traced_seconds", []float64{1, 2, 4})
+	ex.ObserveTraced(1, TraceID(0xabcdef0123456789))
+	ex.ObserveTraced(3, TraceID(0x1122334455667788))
+	ex.Observe(2) // untraced: must not disturb its bucket's exemplar
 
 	var buf bytes.Buffer
 	if err := r.WritePrometheus(&buf); err != nil {

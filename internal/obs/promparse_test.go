@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A minimal parser for the Prometheus text format plus the OpenMetrics
+// exemplar suffix this package emits. It exists so the golden file is
+// checked as *parseable telemetry*, not just as frozen bytes: every
+// line must round-trip through the parsed form unchanged, and every
+// exemplar must carry a well-formed trace ID that a reader could feed
+// to /debug/trace?id=.
+
+type promLine struct {
+	name    string // metric or family name; "" for a TYPE line
+	typ     string // set for "# TYPE" lines
+	labels  string // raw {...} label block, "" if none
+	value   string
+	exemID  string // exemplar trace_id, "" if none
+	exemVal string
+}
+
+func (p promLine) render() string {
+	if p.typ != "" {
+		return fmt.Sprintf("# TYPE %s %s", p.name, p.typ)
+	}
+	s := p.name + p.labels + " " + p.value
+	if p.exemID != "" {
+		s += fmt.Sprintf(" # {trace_id=%q} %s", p.exemID, p.exemVal)
+	}
+	return s
+}
+
+func parsePromLine(t *testing.T, line string) promLine {
+	t.Helper()
+	if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+		name, typ, ok := strings.Cut(rest, " ")
+		if !ok {
+			t.Fatalf("malformed TYPE line %q", line)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram":
+		default:
+			t.Fatalf("unknown family type %q in %q", typ, line)
+		}
+		return promLine{name: name, typ: typ}
+	}
+
+	series, exem, hasExem := strings.Cut(line, " # ")
+	var p promLine
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		j := strings.LastIndexByte(series, '}')
+		if j < i {
+			t.Fatalf("unbalanced label block in %q", line)
+		}
+		p.name, p.labels, p.value = series[:i], series[i:j+1], strings.TrimSpace(series[j+1:])
+	} else {
+		name, val, ok := strings.Cut(series, " ")
+		if !ok {
+			t.Fatalf("malformed series line %q", line)
+		}
+		p.name, p.value = name, val
+	}
+	if p.value == "" || strings.ContainsAny(p.value, " ") {
+		t.Fatalf("malformed value in %q", line)
+	}
+
+	if hasExem {
+		// OpenMetrics exemplar: {trace_id="<16 hex>"} <value>
+		labels, val, ok := strings.Cut(exem, "} ")
+		if !ok || !strings.HasPrefix(labels, `{trace_id="`) || !strings.HasSuffix(labels, `"`) {
+			t.Fatalf("malformed exemplar in %q", line)
+		}
+		p.exemID = strings.TrimSuffix(strings.TrimPrefix(labels, `{trace_id="`), `"`)
+		p.exemVal = val
+		if _, err := ParseTraceID(p.exemID); err != nil {
+			t.Fatalf("exemplar trace id in %q: %v", line, err)
+		}
+		if len(p.exemID) != 16 {
+			t.Fatalf("exemplar trace id %q is not 16 hex digits", p.exemID)
+		}
+	}
+	return p
+}
+
+// TestPrometheusExemplarRoundTrip parses the golden exposition and
+// re-renders it byte-for-byte, proving the exemplar syntax survives a
+// parse/print cycle; it also pins down which buckets carry exemplars.
+func TestPrometheusExemplarRoundTrip(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "prom.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exemplars := map[string]string{} // "name{labels}" -> trace id
+	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		p := parsePromLine(t, line)
+		if got := p.render(); got != line {
+			t.Fatalf("round trip changed line:\n got %q\nwant %q", got, line)
+		}
+		if p.exemID != "" {
+			if !strings.HasSuffix(p.name, "_bucket") {
+				t.Fatalf("exemplar on non-bucket series %q", line)
+			}
+			exemplars[p.name+p.labels] = p.exemID
+		}
+	}
+
+	// The fixture's traced observations must surface on exactly the
+	// buckets their values fall into, with the IDs they were given.
+	want := map[string]string{
+		`sqlledger_test_traced_seconds_bucket{le="1"}`: TraceID(0xabcdef0123456789).String(),
+		`sqlledger_test_traced_seconds_bucket{le="4"}`: TraceID(0x1122334455667788).String(),
+	}
+	for series, id := range want {
+		if exemplars[series] != id {
+			t.Fatalf("exemplar for %s = %q, want %q (all: %v)", series, exemplars[series], id, exemplars)
+		}
+	}
+	if id, ok := exemplars[`sqlledger_test_traced_seconds_bucket{le="2"}`]; ok {
+		t.Fatalf("untraced bucket grew an exemplar %q", id)
+	}
+}
+
+// TestExemplarLiveRegistry checks the exemplar path end to end on a
+// fresh registry: ObserveTraced stamps the bucket, and the rendered
+// exposition parses back to the same trace ID.
+func TestExemplarLiveRegistry(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sqlledger_live_seconds", []float64{1})
+	id := TraceID(0xdeadbeefcafef00d)
+	h.ObserveTraced(0.5, id)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		p := parsePromLine(t, line)
+		if p.exemID == "" {
+			continue
+		}
+		got, err := ParseTraceID(p.exemID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace id %s not reachable from exposition:\n%s", id, sb.String())
+	}
+}

@@ -52,6 +52,15 @@ func (t *Tracer) Start(name string, labels ...Label) *Span {
 	return &Span{tracer: t, name: name, labels: labels, start: time.Now()}
 }
 
+// Annotate appends key/value labels to the span before it finishes —
+// for results only known at the end (blocks checked, rows reclaimed).
+func (s *Span) Annotate(labels ...Label) {
+	if s == nil {
+		return
+	}
+	s.labels = append(s.labels, labels...)
+}
+
 // Finish records the span. err may be nil.
 func (s *Span) Finish(err error) {
 	if s == nil {

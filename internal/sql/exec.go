@@ -9,6 +9,7 @@ import (
 
 	"sqlledger/internal/core"
 	"sqlledger/internal/engine"
+	"sqlledger/internal/obs"
 	"sqlledger/internal/sqltypes"
 )
 
@@ -33,6 +34,11 @@ type Session struct {
 
 	tx         *core.Tx
 	savepoints map[string]int
+
+	// stmtHists caches the per-statement-fingerprint latency histograms
+	// (sqlledger_statement_seconds{stmt="..."}) so repeated statements
+	// skip the registry lookup. Fingerprint cardinality is verb × table.
+	stmtHists map[string]*obs.Histogram
 }
 
 // NewSession opens a SQL session for user.
@@ -80,19 +86,72 @@ func (s *Session) Close() {
 
 // begin returns the transaction to run one statement in and a done
 // function that commits in autocommit mode (or keeps the explicit
-// transaction open).
-func (s *Session) begin() (*core.Tx, func(error) error) {
-	if s.tx != nil {
-		return s.tx, func(err error) error { return err }
+// transaction open). verb and table identify the statement: its
+// fingerprint ("insert accounts") keys the per-statement latency
+// histogram and annotates the transaction's trace, so a slow-query entry
+// can say which statement ran against which tables.
+func (s *Session) begin(verb, table string) (*core.Tx, func(error) error) {
+	tbl := strings.ToLower(table)
+	fp := verb + " " + tbl
+	start := time.Now()
+	tx := s.tx
+	autocommit := tx == nil
+	if autocommit {
+		tx = s.db.Begin(s.user)
 	}
-	tx := s.db.Begin(s.user)
+	if tr := tx.Trace(); tr != nil {
+		noteStatement(tr, fp, tbl)
+	}
 	return tx, func(err error) error {
-		if err != nil {
-			tx.Rollback()
-			return err
+		// The statement span and the trace ID must be taken before the
+		// autocommit below: Commit finishes the trace.
+		var tid obs.TraceID
+		if tr := tx.Trace(); tr != nil {
+			tid = tr.ID()
+			tr.Record(obs.SpanStatement, 0, start, time.Since(start), obs.L(obs.AttrStatement, fp))
 		}
-		return tx.Commit()
+		if autocommit {
+			if err != nil {
+				tx.Rollback()
+			} else {
+				err = tx.Commit()
+			}
+		}
+		// The histogram sees the full statement latency, commit included,
+		// with the trace ID as the bucket's exemplar.
+		s.stmtHist(fp).ObserveTraced(time.Since(start).Seconds(), tid)
+		return err
 	}
+}
+
+// noteStatement accumulates statement context onto the trace: the
+// fingerprint list and the set of tables touched, rendered into slow-query
+// entries when the trace is retained.
+func noteStatement(tr *obs.Trace, fp, table string) {
+	if prev := tr.Attr(obs.AttrStatement); prev == "" {
+		tr.SetAttr(obs.AttrStatement, fp)
+	} else if prev != fp {
+		tr.SetAttr(obs.AttrStatement, prev+"; "+fp)
+	}
+	if prev := tr.Attr(obs.AttrTables); prev == "" {
+		tr.SetAttr(obs.AttrTables, table)
+	} else if !strings.Contains(","+prev+",", ","+table+",") {
+		tr.SetAttr(obs.AttrTables, prev+","+table)
+	}
+}
+
+// stmtHist returns (caching per session) the latency histogram for one
+// statement fingerprint.
+func (s *Session) stmtHist(fp string) *obs.Histogram {
+	h := s.stmtHists[fp]
+	if h == nil {
+		if s.stmtHists == nil {
+			s.stmtHists = make(map[string]*obs.Histogram)
+		}
+		h = s.db.Obs().Histogram(obs.StatementSeconds, nil, obs.L("stmt", fp))
+		s.stmtHists[fp] = h
+	}
+	return h
 }
 
 // ExecStatement executes a parsed statement.
@@ -408,7 +467,7 @@ func (s *Session) insert(st *Insert) (*Result, error) {
 			order[pos] = li
 		}
 	}
-	tx, done := s.begin()
+	tx, done := s.begin("insert", st.Table)
 	n := 0
 	for _, litRow := range st.Rows {
 		if len(st.Columns) == 0 && len(litRow) != len(cols) {
@@ -514,7 +573,7 @@ func (s *Session) update(st *Update) (*Result, error) {
 		}
 		sets = append(sets, setOp{pos: pos, val: v})
 	}
-	tx, done := s.begin()
+	tx, done := s.begin("update", st.Table)
 	var matches []sqltypes.Row
 	if err := scanVisible(tx, tgt, func(r sqltypes.Row) bool {
 		if pred(r) {
@@ -566,7 +625,7 @@ func (s *Session) delete(st *Delete) (*Result, error) {
 		}
 		visPos[i] = p
 	}
-	tx, done := s.begin()
+	tx, done := s.begin("delete", st.Table)
 	var keys [][]sqltypes.Value
 	if err := scanVisible(tx, tgt, func(r sqltypes.Row) bool {
 		if pred(r) {
@@ -640,7 +699,7 @@ func (s *Session) selectStmt(st *Select) (*Result, error) {
 		}
 	}
 
-	tx, done := s.begin()
+	tx, done := s.begin("select", st.Table)
 	var matched []sqltypes.Row
 	if err := scanVisible(tx, tgt, func(r sqltypes.Row) bool {
 		if pred(r) {

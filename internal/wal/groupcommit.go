@@ -42,6 +42,15 @@ type commitReq struct {
 	lsn  int64
 	err  error
 	done chan struct{}
+
+	// Group timing breadcrumbs for traced commits. enqueuedAt is stamped
+	// by EnqueueTraced only; the flusher stamps the rest before closing
+	// done, so Wait-side reads need no synchronization beyond the channel.
+	enqueuedAt time.Time
+	flushStart time.Time
+	flushDur   time.Duration
+	groupSize  int
+	groupRecs  int
 }
 
 // Ticket is a pending group commit returned by Enqueue.
@@ -53,6 +62,15 @@ type Ticket struct{ req *commitReq }
 func (t *Ticket) Wait() (int64, error) {
 	<-t.req.done
 	return t.req.lsn, t.req.err
+}
+
+// GroupTimings reports, after Wait returns, where the group-commit time
+// went: when the request was enqueued (zero unless EnqueueTraced was
+// used), when its group's flush started, how long the flush (append +
+// fsync) took, and the group's size in commits and records.
+func (t *Ticket) GroupTimings() (enqueuedAt, flushStart time.Time, flushDur time.Duration, groupSize, groupRecords int) {
+	r := t.req
+	return r.enqueuedAt, r.flushStart, r.flushDur, r.groupSize, r.groupRecs
 }
 
 // GroupCommitter batches concurrent commit appends into write groups that
@@ -102,7 +120,17 @@ func NewGroupCommitter(l *Log, cfg GroupConfig) *GroupCommitter {
 // immediately; the caller Waits on the ticket outside its critical
 // section. Requests are written in enqueue order.
 func (g *GroupCommitter) Enqueue(recs []Record) *Ticket {
-	req := &commitReq{recs: recs, done: make(chan struct{})}
+	return g.enqueue(&commitReq{recs: recs, done: make(chan struct{})})
+}
+
+// EnqueueTraced is Enqueue plus an enqueue timestamp, so a traced commit
+// can split its durability wait into group formation vs. flush time. It
+// costs one extra clock read over Enqueue.
+func (g *GroupCommitter) EnqueueTraced(recs []Record) *Ticket {
+	return g.enqueue(&commitReq{recs: recs, done: make(chan struct{}), enqueuedAt: time.Now()})
+}
+
+func (g *GroupCommitter) enqueue(req *commitReq) *Ticket {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
@@ -208,12 +236,17 @@ func (g *GroupCommitter) flushGroup() bool {
 	}
 	flushStart := time.Now()
 	lsns, err := g.log.AppendGroup(batches)
-	g.m.groupFlushSeconds.ObserveSince(flushStart)
+	flushDur := time.Since(flushStart)
+	g.m.groupFlushSeconds.Observe(flushDur.Seconds())
 	for i, req := range group {
 		if err == nil {
 			req.lsn = lsns[i]
 		}
 		req.err = err
+		req.flushStart = flushStart
+		req.flushDur = flushDur
+		req.groupSize = len(group)
+		req.groupRecs = nrec
 		close(req.done)
 	}
 	g.m.groups.Inc()

@@ -22,7 +22,7 @@ func (t *TPCC) NewOrder(rng *rand.Rand) error {
 	cid := int64(nonUniform(rng, 1023, 1, tpccCustomersPerDistrict))
 	nLines := uniform(rng, 5, 15)
 
-	s := t.Begin("app")
+	s := t.Begin("app").Op("new_order")
 	defer s.Rollback()
 
 	dRow, ok, err := s.Get(t.district, sqlledger.BigInt(w), sqlledger.BigInt(d))
@@ -92,7 +92,7 @@ func (t *TPCC) Payment(rng *rand.Rand) error {
 	cid := int64(nonUniform(rng, 1023, 1, tpccCustomersPerDistrict))
 	amount := int64(uniform(rng, 100, 500000))
 
-	s := t.Begin("app")
+	s := t.Begin("app").Op("payment")
 	defer s.Rollback()
 
 	wRow, ok, err := s.Get(t.warehouse, sqlledger.BigInt(w))
@@ -141,7 +141,7 @@ func (t *TPCC) OrderStatus(rng *rand.Rand) error {
 	d := int64(uniform(rng, 1, tpccDistrictsPerWarehouse))
 	cid := int64(nonUniform(rng, 1023, 1, tpccCustomersPerDistrict))
 
-	s := t.Begin("app")
+	s := t.Begin("app").Op("order_status")
 	defer s.Rollback()
 	if _, ok, err := s.Get(t.customer, sqlledger.BigInt(w), sqlledger.BigInt(d), sqlledger.BigInt(cid)); err != nil || !ok {
 		return fmt.Errorf("workload: customer (%d,%d,%d): %v", w, d, cid, err)
@@ -171,7 +171,7 @@ func (t *TPCC) Delivery(rng *rand.Rand) error {
 	w := int64(uniform(rng, 1, t.Warehouses))
 	carrier := int64(uniform(rng, 1, 10))
 
-	s := t.Begin("app")
+	s := t.Begin("app").Op("delivery")
 	defer s.Rollback()
 	delivered := 0
 	for d := int64(1); d <= tpccDistrictsPerWarehouse; d++ {
@@ -237,7 +237,7 @@ func (t *TPCC) StockLevel(rng *rand.Rand) error {
 	d := int64(uniform(rng, 1, tpccDistrictsPerWarehouse))
 	threshold := int64(uniform(rng, 10, 20))
 
-	s := t.Begin("app")
+	s := t.Begin("app").Op("stock_level")
 	defer s.Rollback()
 	items := make(map[int64]bool)
 	count := 0

@@ -308,7 +308,7 @@ func (t *TPCE) TradeOrder(rng *rand.Rand) (int64, error) {
 	tid := t.nextTradeID.Add(1)
 	ca := int64(uniform(rng, 1, t.Customers))
 	sym := symb(uniform(rng, 1, t.Securities))
-	s := t.Begin("app")
+	s := t.Begin("app").Op("trade_order")
 	defer s.Rollback()
 	ltRow, ok, err := s.Get(t.lastTrade, sqlledger.NVarChar(sym))
 	if err != nil || !ok {
@@ -335,7 +335,7 @@ func (t *TPCE) TradeOrder(rng *rand.Rand) (int64, error) {
 // TradeResult completes a trade: updates its status, adjusts the account
 // balance and holding summary, and records settlement and cash movement.
 func (t *TPCE) TradeResult(rng *rand.Rand, tid int64) error {
-	s := t.Begin("app")
+	s := t.Begin("app").Op("trade_result")
 	defer s.Rollback()
 	tRow, ok, err := s.Get(t.trade, sqlledger.BigInt(tid))
 	if err != nil || !ok {
@@ -404,7 +404,7 @@ func (t *TPCE) TradeResult(rng *rand.Rand, tid int64) error {
 
 // MarketFeed ticks a handful of securities' last trade prices.
 func (t *TPCE) MarketFeed(rng *rand.Rand) error {
-	s := t.Begin("feed")
+	s := t.Begin("feed").Op("market_feed")
 	defer s.Rollback()
 	for i := 0; i < 5; i++ {
 		sym := symb(uniform(rng, 1, t.Securities))
@@ -426,7 +426,7 @@ func (t *TPCE) MarketFeed(rng *rand.Rand) error {
 // TradeStatus reads the history of a recent trade plus the account.
 func (t *TPCE) TradeStatus(rng *rand.Rand) error {
 	ca := int64(uniform(rng, 1, t.Customers))
-	s := t.Begin("app")
+	s := t.Begin("app").Op("trade_status")
 	defer s.Rollback()
 	if max := t.nextTradeID.Load(); max > 0 {
 		tid := int64(uniform(rng, 1, int(max)))
@@ -444,7 +444,7 @@ func (t *TPCE) TradeStatus(rng *rand.Rand) error {
 // CustomerPosition reads a customer's account and holdings.
 func (t *TPCE) CustomerPosition(rng *rand.Rand) error {
 	ca := int64(uniform(rng, 1, t.Customers))
-	s := t.Begin("app")
+	s := t.Begin("app").Op("customer_position")
 	defer s.Rollback()
 	if _, _, err := s.Get(t.customer, sqlledger.BigInt(ca)); err != nil {
 		return err
@@ -461,7 +461,7 @@ func (t *TPCE) CustomerPosition(rng *rand.Rand) error {
 
 // MarketWatch reads last-trade prices for a basket of securities.
 func (t *TPCE) MarketWatch(rng *rand.Rand) error {
-	s := t.Begin("app")
+	s := t.Begin("app").Op("market_watch")
 	defer s.Rollback()
 	for i := 0; i < 10; i++ {
 		sym := symb(uniform(rng, 1, t.Securities))
@@ -475,7 +475,7 @@ func (t *TPCE) MarketWatch(rng *rand.Rand) error {
 // SecurityDetail reads a security and its latest price.
 func (t *TPCE) SecurityDetail(rng *rand.Rand) error {
 	sym := symb(uniform(rng, 1, t.Securities))
-	s := t.Begin("app")
+	s := t.Begin("app").Op("security_detail")
 	defer s.Rollback()
 	if _, _, err := s.Get(t.security, sqlledger.NVarChar(sym)); err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 
 	"sqlledger"
 	"sqlledger/internal/engine"
+	"sqlledger/internal/obs"
 )
 
 // Table abstracts over ledger and regular tables so workload transaction
@@ -30,6 +31,17 @@ type Session struct {
 
 // Begin starts a workload transaction.
 func (w *Common) Begin(user string) *Session { return &Session{tx: w.DB.Begin(user)} }
+
+// Op annotates the transaction's trace with the workload operation name
+// (e.g. "new_order"), so retained traces and slow-query entries identify
+// the workload transaction they came from. Returns the session for
+// chaining; a no-op when tracing is off.
+func (s *Session) Op(name string) *Session {
+	if tr := s.tx.Trace(); tr != nil {
+		tr.SetAttr(obs.AttrStatement, name)
+	}
+	return s
+}
 
 // Commit commits the transaction.
 func (s *Session) Commit() error { return s.tx.Commit() }

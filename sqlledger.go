@@ -142,6 +142,28 @@ type (
 	// (reg.Events()), mirrored to /debug/events.
 	EventLog = obs.EventLog
 
+	// Trace is one transaction's in-flight end-to-end trace. Every Begin
+	// creates one (when tracing is on); the engine, WAL and commit
+	// pipeline contribute child spans; annotate it with application
+	// context via Tx.Trace().SetAttr.
+	Trace = obs.Trace
+	// TraceID identifies a trace; histogram exemplars carry it and
+	// /debug/trace?id= resolves it.
+	TraceID = obs.TraceID
+	// TraceRecord is a finished, retained trace: the root plus its span
+	// waterfall, served at /debug/trace.
+	TraceRecord = obs.TraceRecord
+	// TraceSpan is one span of a finished trace.
+	TraceSpan = obs.TraceSpan
+	// TraceStore is the registry's tail-sampling trace retention ring
+	// (reg.Traces()): slow and error traces are always kept, fast ones
+	// sampled.
+	TraceStore = obs.TraceStore
+	// SlowQuery is one structured slow-query entry (statement
+	// fingerprint, tables, rows, lock-wait and fsync-wait durations),
+	// served at /debug/slow.
+	SlowQuery = obs.SlowQuery
+
 	// Health is the typed health status served at /healthz.
 	Health = core.Health
 	// HealthState is the coarse health status (healthy/degraded/unhealthy).

@@ -1,0 +1,213 @@
+package sqlledger_test
+
+// End-to-end acceptance for the transaction tracing pipeline: a slow
+// durable commit under concurrent load must yield a retained trace that
+// (a) is reachable from a histogram exemplar in /metrics, (b) renders a
+// non-empty waterfall at /debug/trace?id=, (c) appears in /debug/slow
+// with its lock-wait attribution, and (d) accounts for its time — the
+// top-level child spans must sum to at least 90% of the root duration.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sqlledger"
+)
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestTraceEndToEnd(t *testing.T) {
+	reg := sqlledger.NewMetricsRegistry()
+	reg.Traces().SetSlowThreshold(40 * time.Millisecond)
+	reg.Traces().SetSampleRate(0) // only slowness may retain
+
+	db, err := sqlledger.Open(sqlledger.Options{
+		Dir: t.TempDir(), Name: "trace",
+		BlockSize:   sqlledger.DefaultBlockSize,
+		Sync:        sqlledger.SyncFull, // the slow commit must be durable
+		LockTimeout: 5 * time.Second,
+		Obs:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv, err := sqlledger.StartMetricsServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	lt, err := db.CreateLedgerTable("t", fig8Schema(), sqlledger.Updateable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := db.Begin("setup")
+	if err := seed.Insert(lt, fig8Row(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transaction A locks row 1 and holds it ~100ms; transaction B
+	// updates the same row and spends that time in lock wait, making it
+	// the slow trace under test. Meanwhile background writers commit
+	// other rows, so the trace is produced under concurrent load.
+	txA := db.Begin("holder")
+	if err := txA.Update(lt, fig8Row(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := db.Begin(fmt.Sprintf("bg-%d", w))
+				if err := tx.Insert(lt, fig8Row(int64(1000+w*100000+i))); err != nil {
+					tx.Rollback()
+					continue
+				}
+				_ = tx.Commit()
+			}
+		}(w)
+	}
+
+	releaseDone := make(chan error, 1)
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		releaseDone <- txA.Commit()
+	}()
+
+	txB := db.Begin("slow")
+	want := txB.Trace().ID()
+	if want == 0 {
+		t.Fatal("transaction has no trace")
+	}
+	txB.Trace().SetAttr("statement", "update t")
+	if err := txB.Update(lt, fig8Row(1)); err != nil {
+		t.Fatalf("contended update: %v", err)
+	}
+	if err := txB.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-releaseDone; err != nil {
+		t.Fatalf("holder commit: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// (a) The lock-wait histogram's exemplars include B's trace ID: the
+	// on-call path from a latency spike to its trace.
+	_, metrics := httpGet(t, base+"/metrics")
+	var exemplarIDs []string
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, "sqlledger_lock_wait_seconds_bucket") {
+			continue
+		}
+		if _, exem, ok := strings.Cut(line, `# {trace_id="`); ok {
+			id, _, _ := strings.Cut(exem, `"`)
+			exemplarIDs = append(exemplarIDs, id)
+		}
+	}
+	found := false
+	for _, id := range exemplarIDs {
+		if id == want.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s not among lock-wait exemplars %v", want, exemplarIDs)
+	}
+
+	// (b) The exemplar's ID resolves to the retained trace.
+	code, body := httpGet(t, base+"/debug/trace?id="+want.String())
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace?id=%s: HTTP %d: %s", want, code, body)
+	}
+	var rec sqlledger.TraceRecord
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatalf("trace JSON: %v\n%s", err, body)
+	}
+	if rec.ID != want.String() || rec.Decision != "slow" {
+		t.Fatalf("record id=%s decision=%s, want %s/slow", rec.ID, rec.Decision, want)
+	}
+	if rec.Duration < 40*time.Millisecond {
+		t.Fatalf("slow trace lasted only %v", rec.Duration)
+	}
+
+	// (d) Time accounting: top-level children partition the root, so
+	// their durations must sum to ≥90% of the root duration.
+	var accounted time.Duration
+	names := map[string]bool{}
+	for _, sp := range rec.Spans {
+		names[sp.Name] = true
+		if sp.Parent == 0 {
+			accounted += sp.Duration
+		}
+	}
+	if accounted < rec.Duration*9/10 {
+		t.Fatalf("top-level spans account for %v of %v (%.1f%%), want ≥90%%\nspans: %+v",
+			accounted, rec.Duration, 100*float64(accounted)/float64(rec.Duration), rec.Spans)
+	}
+	for _, wantSpan := range []string{"lock_wait", "commit_wait"} {
+		if !names[wantSpan] {
+			t.Fatalf("trace missing %s span: %v", wantSpan, names)
+		}
+	}
+
+	// The text waterfall renders non-empty with the dominant span.
+	code, text := httpGet(t, base+"/debug/trace?id="+want.String()+"&format=text")
+	if code != http.StatusOK || !strings.Contains(text, "lock_wait") {
+		t.Fatalf("waterfall (HTTP %d):\n%s", code, text)
+	}
+
+	// (c) The slow-query log carries the trace with lock-wait blame.
+	_, slowBody := httpGet(t, base+"/debug/slow")
+	var slow []sqlledger.SlowQuery
+	if err := json.Unmarshal([]byte(slowBody), &slow); err != nil {
+		t.Fatalf("slow JSON: %v\n%s", err, slowBody)
+	}
+	var entry *sqlledger.SlowQuery
+	for i := range slow {
+		if slow[i].TraceID == want.String() {
+			entry = &slow[i]
+		}
+	}
+	if entry == nil {
+		t.Fatalf("trace %s not in /debug/slow: %s", want, slowBody)
+	}
+	if entry.LockWait < 40*time.Millisecond {
+		t.Fatalf("slow-query lock wait %v, want ≥40ms", entry.LockWait)
+	}
+	if entry.Statement != "update t" {
+		t.Fatalf("slow-query statement %q", entry.Statement)
+	}
+}

@@ -1,0 +1,107 @@
+package sqlledger_test
+
+// The tracing-overhead gate backing BenchmarkInstrumentationOverhead's
+// trace=on/trace=off split: per-transaction tracing may cost at most 3%
+// on durable (SyncFull) commits, the configuration the paper's commit
+// experiments use. Tracing runs with its production defaults (100ms
+// slow threshold, 1% sampling), so the measured cost includes the
+// tail-sampling decision and the occasional retained trace.
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"sqlledger"
+)
+
+// tracingOffRegistry is a fully enabled registry with only the
+// per-transaction trace layer switched off — the baseline that isolates
+// tracing cost from the rest of the observability stack.
+func tracingOffRegistry() *sqlledger.MetricsRegistry {
+	reg := sqlledger.NewMetricsRegistry()
+	reg.Traces().SetEnabled(false)
+	return reg
+}
+
+// commitLoopNs times n single-row-insert durable commits and returns
+// the per-commit cost in nanoseconds.
+func commitLoopNs(t *testing.T, reg *sqlledger.MetricsRegistry, n int) float64 {
+	t.Helper()
+	db, err := sqlledger.Open(sqlledger.Options{
+		Dir: t.TempDir(), Name: "gate",
+		BlockSize:   sqlledger.DefaultBlockSize,
+		Sync:        sqlledger.SyncFull,
+		LockTimeout: 5 * time.Second,
+		Obs:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	lt, err := db.CreateLedgerTable("t", fig8Schema(), sqlledger.Updateable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit := func(i int64) {
+		tx := db.Begin("gate")
+		if err := tx.Insert(lt, fig8Row(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const warmup = 200
+	for i := int64(0); i < warmup; i++ {
+		commit(i)
+	}
+	start := time.Now()
+	for i := int64(0); i < int64(n); i++ {
+		commit(warmup + i)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+// TestTracingOverheadGate measures trace=on against trace=off and fails
+// if tracing costs more than 3%. Both configurations are measured
+// several times interleaved and compared at their global minima, which
+// filters scheduler and fsync noise. Durable-commit A/B timing is only
+// trustworthy on a quiet machine, so the strict 3% bound applies when
+// SQLLEDGER_TRACE_GATE is set (the dedicated `make trace-gate` CI step,
+// which runs alone); inside a parallel `go test ./...` sweep the test
+// still runs but with a loose bound that catches only catastrophic
+// regressions (an allocation storm, a lock on the trace hot path).
+func TestTracingOverheadGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	const (
+		commits = 1500
+		rounds  = 3
+		tries   = 3
+	)
+	maxRatio, mode := 1.5, "loose (concurrent-suite sanity bound)"
+	if os.Getenv("SQLLEDGER_TRACE_GATE") != "" {
+		maxRatio, mode = 1.03, "strict (3% budget)"
+	}
+	var on, off float64
+	for try := 1; try <= tries; try++ {
+		for r := 0; r < rounds; r++ {
+			if v := commitLoopNs(t, sqlledger.NewMetricsRegistry(), commits); on == 0 || v < on {
+				on = v
+			}
+			if v := commitLoopNs(t, tracingOffRegistry(), commits); off == 0 || v < off {
+				off = v
+			}
+		}
+		ratio := on / off
+		t.Logf("try %d (%s): trace=on %.0f ns/commit, trace=off %.0f ns/commit, ratio %.4f",
+			try, mode, on, off, ratio)
+		if ratio <= maxRatio {
+			return
+		}
+	}
+	t.Fatalf("tracing overhead %.2f%% exceeds the %s gate (on=%.0f off=%.0f ns/commit)",
+		100*(on/off-1), mode, on, off)
+}
