@@ -143,5 +143,26 @@ bench-shard:
 	go test -run 'ShardIngestScaling' -v .
 	go test -run - -bench 'IngestSharded' -benchtime 20x .
 
+# Race-enabled fast-restart audit: the pipelined WAL reader's
+# producer/decode-pool/reassembly stages, parallel redo workers and the
+# parallel snapshot codec under -race, plus online checkpoints racing
+# live committers and the crash-image equivalence check (serial vs.
+# parallel replay must produce identical digests and verify green).
+.PHONY: test-race-recover
+test-race-recover:
+	go test -race ./internal/wal/ -run 'Pipelined'
+	go test -race ./internal/engine/ -run 'Recovery|Checkpoint|Snapshot'
+	go test -race . -run 'RecoverySerialParallelEquivalence|RecoveryScaling'
+
+# Recovery-scaling gate + benchmark: full-WAL restart at 1/2/4/8 replay
+# workers over one crash image, plus the ledgerbench restart table.
+# Race-free on purpose — the gate measures wall-clock ratios, which the
+# race detector distorts (test-race-recover audits the same paths).
+.PHONY: bench-recover
+bench-recover:
+	go test -run 'RecoveryScaling' -v .
+	go test -run - -bench 'BenchmarkRecovery' -benchtime 3x .
+	go run ./cmd/ledgerbench -exp recover
+
 .PHONY: check
-check: fmt-check vet test test-race-verify test-race-commit test-race-obs test-race-health test-race-read test-race-shard test-race-audit
+check: fmt-check vet test test-race-verify test-race-commit test-race-obs test-race-health test-race-read test-race-shard test-race-audit test-race-recover

@@ -49,6 +49,7 @@ var metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and 
 var shards = flag.Int("shards", 1, "shard the database across N engine instances under one signed super-root (>1 enables sharded mode)")
 var auditInterval = flag.Duration("audit-interval", time.Second, "always-on auditor cycle interval (audit, serve)")
 var auditSample = flag.Float64("audit-sample", 0, "fraction of cold blocks the auditor re-checks per cycle, 0..1 (audit, serve)")
+var checkpointEvery = flag.Duration("checkpoint-every", 0, "take a non-quiescing checkpoint on this interval while serving, bounding restart replay time (serve; 0: off)")
 var slowMS = flag.Int("slow-ms", 100, "slow-query threshold in milliseconds: transactions at or above it are always trace-retained and logged to /debug/slow (0: retain every trace)")
 var traceSample = flag.Float64("trace-sample", 0.01, "fraction of fast, error-free traces retained, 0..1")
 
@@ -322,6 +323,8 @@ func cmdServeSharded(db *sqlledger.ShardedDB, reg *sqlledger.MetricsRegistry, ar
 	defer srv.Close()
 	stopSampler := sqlledger.StartRuntimeSampler(reg, time.Second)
 	defer stopSampler()
+	stopCP := startCheckpointTicker(db.Checkpoint)
+	defer stopCP()
 	printOpsEndpoints(srv.Addr())
 	serveWait(args)
 }
@@ -350,8 +353,37 @@ func cmdServe(db *sqlledger.DB, reg *sqlledger.MetricsRegistry, args []string) {
 	defer srv.Close()
 	stopSampler := sqlledger.StartRuntimeSampler(reg, time.Second)
 	defer stopSampler()
+	stopCP := startCheckpointTicker(db.Checkpoint)
+	defer stopCP()
 	printOpsEndpoints(srv.Addr())
 	serveWait(args)
+}
+
+// startCheckpointTicker runs cp on the -checkpoint-every interval until
+// the returned stop function is called. Checkpoints are non-quiescing —
+// commits keep flowing while the snapshot streams out — so taking them
+// on a timer while serving costs microseconds of write stall and keeps
+// restart replay bounded by one interval of WAL.
+func startCheckpointTicker(cp func() error) (stop func()) {
+	if *checkpointEvery <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(*checkpointEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := cp(); err != nil {
+					fmt.Fprintln(os.Stderr, "sqlledger: checkpoint:", err)
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
 }
 
 // serveWait blocks for the optional DURATION argument, or until a
@@ -507,7 +539,9 @@ commands:
                                          /healthz, /debug/ledger, /debug/audit,
                                          /debug/events, /debug/spans,
                                          /debug/pprof) with the auditor running
-                                         (-audit-interval, -audit-sample)
+                                         (-audit-interval, -audit-sample,
+                                         -checkpoint-every for periodic
+                                         non-quiescing checkpoints)
 sharded mode (-shards N, N > 1):
   create/insert/update/delete/select     as above, routed by primary key
   superblock                             close + print a signed super-block (JSON)

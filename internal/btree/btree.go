@@ -164,6 +164,73 @@ func (t *Tree[V]) splitInterior(n *node[V]) ([]byte, *node[V]) {
 	return sep, right
 }
 
+// buildFill is how full BuildSorted packs each node: 3/4 of degree, so a
+// freshly bulk-loaded tree absorbs trickle inserts without immediately
+// splitting every leaf, while staying comfortably above minLen.
+const buildFill = degree * 3 / 4
+
+// BuildSorted constructs a tree from keys already in strictly ascending
+// order, with vals parallel to keys. It packs leaves bottom-up in O(n)
+// instead of O(n log n) Put calls — the fast path for snapshot load and
+// parallel WAL replay, where rows arrive pre-sorted per table. Key slices
+// are retained; callers must not mutate them. Behavior is undefined if
+// keys are unsorted or contain duplicates.
+func BuildSorted[V any](keys [][]byte, vals []V) *Tree[V] {
+	if len(keys) == 0 {
+		return New[V]()
+	}
+	// Leaf level: pack keys into leaves of buildFill entries, linked in
+	// ascending order. The final leaf keeps the remainder (>= 1 entry);
+	// underfull nodes are legal here — rebalance only runs after deletes,
+	// and a merge of two nodes at or below minLen still fits in degree.
+	var leaves []*node[V]
+	for i := 0; i < len(keys); i += buildFill {
+		j := i + buildFill
+		if j > len(keys) {
+			j = len(keys)
+		}
+		n := &node[V]{
+			leaf: true,
+			keys: append([][]byte(nil), keys[i:j]...),
+			vals: append([]V(nil), vals[i:j]...),
+		}
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = n
+		}
+		leaves = append(leaves, n)
+	}
+	// Interior levels: group children buildFill+1 at a time; the separator
+	// before child c is the smallest key in c's subtree. Never leave a
+	// trailing group of one child (an interior node needs >= 1 separator),
+	// so a would-be singleton steals a child from the previous group.
+	level := leaves
+	first := make([][]byte, len(level))
+	for i, n := range level {
+		first[i] = n.keys[0]
+	}
+	for len(level) > 1 {
+		var parents []*node[V]
+		var parentFirst [][]byte
+		for i := 0; i < len(level); {
+			take := buildFill + 1
+			if rem := len(level) - i; take > rem {
+				take = rem
+			} else if len(level)-(i+take) == 1 {
+				take--
+			}
+			p := &node[V]{
+				children: append([]*node[V](nil), level[i:i+take]...),
+				keys:     append([][]byte(nil), first[i+1:i+take]...),
+			}
+			parents = append(parents, p)
+			parentFirst = append(parentFirst, first[i])
+			i += take
+		}
+		level, first = parents, parentFirst
+	}
+	return &Tree[V]{root: level[0], size: len(keys)}
+}
+
 // Delete removes key, returning its value if present.
 func (t *Tree[V]) Delete(key []byte) (V, bool) {
 	old, found := t.remove(t.root, key)

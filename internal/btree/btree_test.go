@@ -330,3 +330,65 @@ func TestShardBoundariesAfterDeletes(t *testing.T) {
 		t.Fatalf("sharded scan saw %d keys, want %d", seen, tr.Len())
 	}
 }
+
+// TestBuildSorted proves bulk loading at awkward sizes produces a tree
+// indistinguishable from one built with Put: same entries in order, Get
+// hits everything, and subsequent mutations (Put splits, Delete
+// rebalances down to empty) behave.
+func TestBuildSorted(t *testing.T) {
+	sizes := []int{0, 1, 2, buildFill - 1, buildFill, buildFill + 1,
+		buildFill*buildFill + 1, 10000, 50001}
+	for _, n := range sizes {
+		keys := make([][]byte, n)
+		vals := make([]int, n)
+		for i := range keys {
+			keys[i], vals[i] = key(i), i
+		}
+		tr := BuildSorted(keys, vals)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		i := 0
+		tr.Ascend(func(k []byte, v int) bool {
+			if !bytes.Equal(k, keys[i]) || v != i {
+				t.Fatalf("n=%d: entry %d = (%q,%d)", n, i, k, v)
+			}
+			i++
+			return true
+		})
+		if i != n {
+			t.Fatalf("n=%d: ascend visited %d entries", n, i)
+		}
+		for _, probe := range []int{0, n / 3, n - 1} {
+			if n == 0 {
+				break
+			}
+			if v, ok := tr.Get(key(probe)); !ok || v != probe {
+				t.Fatalf("n=%d: Get(%d) = (%d,%v)", n, probe, v, ok)
+			}
+		}
+		// Mutate: interleave new keys (forcing splits), then delete
+		// everything (forcing borrows and merges through underfull
+		// bulk-loaded nodes).
+		if n > 0 && n <= 10000 {
+			for j := 0; j < n; j++ {
+				tr.Put([]byte(fmt.Sprintf("key-%08d-x", j)), -j)
+			}
+			if tr.Len() != 2*n {
+				t.Fatalf("n=%d: Len after interleave = %d", n, tr.Len())
+			}
+			perm := rand.New(rand.NewSource(int64(n))).Perm(n)
+			for _, j := range perm {
+				if _, ok := tr.Delete(key(j)); !ok {
+					t.Fatalf("n=%d: delete %d missed", n, j)
+				}
+				if _, ok := tr.Delete([]byte(fmt.Sprintf("key-%08d-x", j))); !ok {
+					t.Fatalf("n=%d: delete %d-x missed", n, j)
+				}
+			}
+			if tr.Len() != 0 {
+				t.Fatalf("n=%d: Len after drain = %d", n, tr.Len())
+			}
+		}
+	}
+}

@@ -90,6 +90,10 @@ type Options struct {
 	// sweep pace (zero: engine default, 250ms). Sharded opens stagger it
 	// per shard so N instances on one box don't tick in lockstep.
 	VersionGCInterval time.Duration
+	// RecoveryWorkers sets crash-recovery parallelism (WAL decode and
+	// redo apply pools, snapshot section codecs). 0 means one per CPU;
+	// 1 forces serial replay.
+	RecoveryWorkers int
 }
 
 // System table names.
@@ -260,6 +264,7 @@ func Open(opts Options) (*LedgerDB, error) {
 		Obs:               opts.Obs,
 		Clock:             opts.Clock,
 		VersionGCInterval: opts.VersionGCInterval,
+		RecoveryWorkers:   opts.RecoveryWorkers,
 	})
 	if err != nil {
 		return nil, err

@@ -191,7 +191,9 @@ func OpenSharded(opts Options) (*ShardedDB, error) {
 	}
 	closeAll := func() {
 		for _, l := range s.shards {
-			l.Close()
+			if l != nil {
+				l.Close()
+			}
 		}
 		s.dlog.Close()
 	}
@@ -203,9 +205,13 @@ func OpenSharded(opts Options) (*ShardedDB, error) {
 		}
 	}
 
-	// Open each shard: an independent LedgerDB whose recovery replays its
-	// own WAL. Version-GC sweeps are staggered so N instances on one box
-	// don't tick in lockstep.
+	// Open the shards concurrently: each is an independent LedgerDB whose
+	// recovery replays its own WAL, so N shards restart in the wall-clock
+	// time of the slowest one instead of the sum. Version-GC sweeps are
+	// staggered so N instances on one box don't tick in lockstep.
+	s.shards = make([]*LedgerDB, n)
+	openErrs := make([]error, n)
+	var owg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		sopts := opts
 		sopts.Shards = 0
@@ -217,12 +223,18 @@ func OpenSharded(opts Options) (*ShardedDB, error) {
 			}
 			sopts.VersionGCInterval += time.Duration(i) * 7 * time.Millisecond
 		}
-		shard, oerr := Open(sopts)
+		owg.Add(1)
+		go func(i int, sopts Options) {
+			defer owg.Done()
+			s.shards[i], openErrs[i] = Open(sopts)
+		}(i, sopts)
+	}
+	owg.Wait()
+	for i, oerr := range openErrs {
 		if oerr != nil {
 			closeAll()
 			return nil, fmt.Errorf("core: opening shard %d: %w", i, oerr)
 		}
-		s.shards = append(s.shards, shard)
 	}
 
 	// Resolve in-doubt cross-shard transactions: commit the gids whose

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -68,6 +67,11 @@ type Options struct {
 	// default (250ms). Sharded deployments stagger this so N engine
 	// instances on one box don't all tick in lockstep.
 	VersionGCInterval time.Duration
+	// RecoveryWorkers sets the parallelism of crash recovery: the WAL
+	// payload-decode pool and the redo apply pool both use this many
+	// workers. 0 means one per CPU; 1 forces the fully serial replay
+	// path (the baseline the recovery scaling gate measures against).
+	RecoveryWorkers int
 }
 
 // DB is an embedded relational database.
@@ -108,7 +112,21 @@ type DB struct {
 	inflight   map[int64]struct{}
 
 	// quiesce: commits and DDL hold RLock; checkpoint/restore hold Lock.
+	// Since the online checkpoint, Checkpoint holds Lock only for the
+	// microseconds needed to pin a transaction-consistent cut; the
+	// snapshot itself streams from MVCC version chains while committers
+	// run.
 	quiesce sync.RWMutex
+	// checkpointMu serializes whole checkpoints against each other (the
+	// snapshot write no longer runs under quiesce, so two concurrent
+	// Checkpoint calls would otherwise race on snapshot ids and the
+	// checkpoint record).
+	checkpointMu sync.Mutex
+	// snapshotWriteHook, when non-nil, runs once at the start of the
+	// checkpoint's snapshot streaming phase — after quiesce is released.
+	// Tests use it to prove committers make progress while the write is
+	// in flight.
+	snapshotWriteHook func()
 
 	// snapMu guards the active-snapshot registry used by read-only
 	// transactions (readtx.go) and version GC.
@@ -691,180 +709,5 @@ func (db *DB) logDDL(op ddlOp) error {
 	return db.log.Flush()
 }
 
-// applyDDL replays a catalog mutation during recovery.
-func (db *DB) applyDDL(op ddlOp) error {
-	switch op.Kind {
-	case "create_table":
-		db.cat.Tables[op.Meta.ID] = op.Meta
-		if op.Meta.ID >= db.cat.NextTableID {
-			db.cat.NextTableID = op.Meta.ID + 1
-		}
-		db.tables[op.Meta.ID] = newTable(op.Meta)
-	case "alter_table":
-		db.cat.Tables[op.Meta.ID] = op.Meta
-		t, ok := db.tables[op.Meta.ID]
-		if !ok {
-			return fmt.Errorf("engine: alter_table for unknown table %d", op.Meta.ID)
-		}
-		t.meta = op.Meta
-		t.mu.Lock()
-		t.widenRowsLocked()
-		t.mu.Unlock()
-	case "create_index":
-		db.cat.Indexes[op.Index.ID] = op.Index
-		if op.Index.ID >= db.cat.NextIndexID {
-			db.cat.NextIndexID = op.Index.ID + 1
-		}
-		t, ok := db.tables[op.Index.TableID]
-		if !ok {
-			return fmt.Errorf("engine: create_index for unknown table %d", op.Index.TableID)
-		}
-		ix := &Index{meta: op.Index}
-		t.mu.Lock()
-		t.buildIndexLocked(ix)
-		t.indexes = append(t.indexes, ix)
-		t.mu.Unlock()
-	case "drop_index":
-		delete(db.cat.Indexes, op.Index.ID)
-		t, ok := db.tables[op.Index.TableID]
-		if ok {
-			t.mu.Lock()
-			for i, ix := range t.indexes {
-				if ix.meta.ID == op.Index.ID {
-					t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
-					break
-				}
-			}
-			t.mu.Unlock()
-		}
-	default:
-		return fmt.Errorf("engine: unknown ddl kind %q", op.Kind)
-	}
-	return nil
-}
-
 // --- Recovery ---------------------------------------------------------
-
-// recover loads the newest snapshot and replays the WAL from its LSN,
-// applying only committed transactions (redo); buffered operations of
-// transactions without a COMMIT record are discarded (losers never reach
-// shared storage in this engine, so no undo pass is needed).
-func (db *DB) recover() error {
-	snapLSN, err := db.loadLatestSnapshot()
-	if err != nil {
-		return err
-	}
-	db.checkpointLSN = snapLSN
-
-	reader, err := wal.NewReader(filepath.Join(db.opts.Dir, walFileName), snapLSN, db.log.Size())
-	if err != nil {
-		return err
-	}
-	defer reader.Close()
-
-	pending := make(map[uint64][]writeOp)
-	// preparedAt maps a transaction id to its decoded PREPARE payload;
-	// a later COMMIT or ABORT record resolves it, anything left at the
-	// end of the log is in doubt.
-	preparedAt := make(map[uint64]wal.PreparePayload)
-	var entries []*wal.LedgerEntry
-	maxTx := uint64(0)
-	records := 0
-	for {
-		rec, err := reader.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return fmt.Errorf("engine: recovery read: %w", err)
-		}
-		records++
-		if rec.TxID > maxTx {
-			maxTx = rec.TxID
-		}
-		switch rec.Type {
-		case wal.RecInsert, wal.RecDelete, wal.RecUpdate:
-			p, err := wal.DecodeDML(rec.Type, rec.Payload)
-			if err != nil {
-				return fmt.Errorf("engine: recovery dml: %w", err)
-			}
-			pending[rec.TxID] = append(pending[rec.TxID], writeOp{
-				typ: rec.Type, tableID: p.TableID, key: p.Key, before: p.Before, after: p.After,
-			})
-		case wal.RecCommit:
-			p, err := wal.DecodeCommit(rec.Payload)
-			if err != nil {
-				return fmt.Errorf("engine: recovery commit: %w", err)
-			}
-			db.applyWrites(pending[rec.TxID], p.CommitTS)
-			delete(pending, rec.TxID)
-			if p.CommitTS > db.lastCommitTS.Load() {
-				db.lastCommitTS.Store(p.CommitTS)
-			}
-			if p.Entry != nil {
-				entries = append(entries, p.Entry)
-			}
-			delete(preparedAt, rec.TxID)
-		case wal.RecAbort:
-			delete(pending, rec.TxID)
-			delete(preparedAt, rec.TxID)
-		case wal.RecPrepare:
-			p, err := wal.DecodePrepare(rec.Payload)
-			if err != nil {
-				return fmt.Errorf("engine: recovery prepare: %w", err)
-			}
-			preparedAt[rec.TxID] = p
-		case wal.RecDDL:
-			p, err := wal.DecodeDDL(rec.Payload)
-			if err != nil {
-				return fmt.Errorf("engine: recovery ddl: %w", err)
-			}
-			op, err := unmarshalDDL(p.Body)
-			if err != nil {
-				return err
-			}
-			if err := db.applyDDL(op); err != nil {
-				return err
-			}
-		case wal.RecCheckpoint, wal.RecBegin:
-			// Informational during redo.
-		default:
-			return fmt.Errorf("engine: recovery: unknown record type %d", rec.Type)
-		}
-	}
-	if maxTx >= db.cat.NextTxID {
-		db.cat.NextTxID = maxTx + 1
-	}
-	// Reconstruct in-doubt transactions: prepared but undecided at the end
-	// of the log. Their writes stay out of shared storage until the 2PC
-	// coordinator resolves them (presumed abort when it has no decision).
-	// Recovery is single-threaded, so no row locks are needed to keep the
-	// write sets isolated until resolution.
-	for txID, p := range preparedAt {
-		tx := &Tx{
-			db:       db,
-			id:       txID,
-			user:     p.User,
-			writes:   pending[txID],
-			Roots:    p.Roots,
-			prepared: true,
-			gid:      p.Gid,
-			inDoubt:  true,
-		}
-		delete(pending, txID)
-		db.inDoubt[p.Gid] = tx
-		db.preparedCount.Add(1)
-	}
-	// Replay applies every committed transaction synchronously, so the
-	// applied-through watermark starts flush with the last commit.
-	db.appliedTS.Store(db.lastCommitTS.Load())
-	if db.opts.Hook != nil {
-		db.opts.Hook.Recovered(entries)
-	}
-	if records > 0 {
-		db.obs.Events().Info(obs.EventRecoveryReplay,
-			"snapshot_lsn", snapLSN, "records", records,
-			"committed_ledger_entries", len(entries), "end_lsn", db.log.Size())
-	}
-	return nil
-}
+// (see recover.go: pipelined parallel WAL replay)

@@ -97,6 +97,18 @@ const (
 	WorkloadCommitsTotal = "sqlledger_workload_commits_total"
 	WorkloadErrorsTotal  = "sqlledger_workload_errors_total"
 
+	// Recovery and checkpointing (internal/engine).
+	// RecoverySeconds observes the phases of crash recovery (label:
+	// phase=snapshot|replay|install); RecoveryRecordsReplayedTotal counts
+	// WAL records scanned by redo. CheckpointSeconds is the end-to-end
+	// checkpoint duration; CheckpointQuiesceSeconds is just the window
+	// the global quiesce lock was held to pin the cut — the part writers
+	// actually wait for.
+	RecoverySeconds              = "sqlledger_recovery_seconds" // label: phase
+	RecoveryRecordsReplayedTotal = "sqlledger_recovery_records_replayed_total"
+	CheckpointSeconds            = "sqlledger_checkpoint_seconds"
+	CheckpointQuiesceSeconds     = "sqlledger_checkpoint_quiesce_seconds"
+
 	// Transaction tracing (internal/obs/txtrace.go).
 	// TracesTotal counts finished traces by retention decision
 	// (decision=slow|error|sampled|dropped). StatementSeconds observes

@@ -53,6 +53,14 @@ func TestWritePrometheusGolden(t *testing.T) {
 	r.Counter(AuditBlocksCheckedTotal, L("mode", "sampled")).Add(8)
 	cyc := r.Histogram(AuditCycleSeconds, []float64{1, 2})
 	cyc.Observe(1)
+	// The PR-10 recovery and checkpoint names.
+	r.Counter(RecoveryRecordsReplayedTotal).Add(50000)
+	rec := r.Histogram(RecoverySeconds, []float64{1, 2, 4}, L("phase", "replay"))
+	rec.Observe(2)
+	cp := r.Histogram(CheckpointSeconds, []float64{1, 2})
+	cp.Observe(1)
+	qz := r.Histogram(CheckpointQuiesceSeconds, []float64{1})
+	qz.Observe(0)
 	// The PR-9 tracing names: traced observations stamp their bucket
 	// with an OpenMetrics exemplar carrying the trace ID.
 	ex := r.Histogram("sqlledger_test_traced_seconds", []float64{1, 2, 4})

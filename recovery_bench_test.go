@@ -1,0 +1,200 @@
+// Recovery-scaling benchmark and gate for the fast-restart path:
+// pipelined WAL read/decode plus a key-hash-partitioned redo pool replay
+// the log on all cores while preserving per-key commit order, so restart
+// time scales with hardware instead of log length (see DESIGN.md
+// decision 15). Parallel replay must land on exactly the serial replay's
+// state: digests are compared on every run and the full verification
+// pass must stay green.
+package sqlledger_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sqlledger"
+)
+
+// buildRecoveryImage loads rows into a fresh database in 1000-row
+// transactions on a logical clock and closes it WITHOUT a checkpoint, so
+// every subsequent Open replays the full WAL. It returns the digest the
+// build observed; recovery at any worker count must reproduce it.
+func buildRecoveryImage(tb testing.TB, dir string, rows int) sqlledger.Digest {
+	tb.Helper()
+	db := openIngestDB(tb, dir)
+	lt, err := db.CreateLedgerTable("t", ingestSchema(), sqlledger.Updateable)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	batch := make([]sqlledger.Row, 0, ingestBatchRows)
+	for lo := 0; lo < rows; lo += ingestBatchRows {
+		batch = batch[:0]
+		for j := 0; j < ingestBatchRows && lo+j < rows; j++ {
+			batch = append(batch, ingestRow(int64(lo+j)))
+		}
+		tx := db.Begin("load")
+		if err := tx.InsertBatch(lt, batch); err != nil {
+			tb.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	// Close all ledger blocks now so recovery-time digest generation is a
+	// pure read and repeated recoveries of the same image are identical.
+	d, err := db.GenerateDigest()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+// recoverImage reopens the image with the given replay worker count and
+// returns the Open wall time and the post-recovery digest hash.
+func recoverImage(tb testing.TB, dir string, workers int) (time.Duration, string) {
+	tb.Helper()
+	var tick atomic.Int64
+	tick.Store(1_800_000_000_000_000_000)
+	start := time.Now()
+	db, err := sqlledger.Open(sqlledger.Options{
+		Dir: dir, Name: "ingest",
+		BlockSize:       sqlledger.DefaultBlockSize,
+		LockTimeout:     5 * time.Second,
+		RecoveryWorkers: workers,
+		Clock:           func() int64 { return tick.Add(1) },
+	})
+	if err != nil {
+		tb.Fatalf("recover with %d workers: %v", workers, err)
+	}
+	elapsed := time.Since(start)
+	d, err := db.GenerateDigest()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return elapsed, d.Hash
+}
+
+// BenchmarkRecovery measures full-WAL restart at 1/2/4/8 replay workers
+// over one prebuilt crash image. One op is one complete Open; the custom
+// metric reports replayed rows per second.
+func BenchmarkRecovery(b *testing.B) {
+	const rows = 50_000
+	dir := b.TempDir()
+	buildRecoveryImage(b, dir, rows)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%dw", workers), func(b *testing.B) {
+			var total time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, _ := recoverImage(b, dir, workers)
+				total += d
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*rows/total.Seconds(), "rows/s")
+		})
+	}
+}
+
+// TestRecoveryScaling gates the parallel replay path. The digest half
+// runs everywhere: recovery at 4 workers must land on the byte-identical
+// digest as the fully serial replay of the same crash image. The
+// wall-clock half — parallel recovery at least 2x faster than serial —
+// needs real hardware parallelism, so it is skipped below 4 CPUs and
+// under the race detector.
+func TestRecoveryScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling measurement skipped in -short")
+	}
+	const rows = 30_000
+	dir := t.TempDir()
+	built := buildRecoveryImage(t, dir, rows)
+	serialDur, serialHash := recoverImage(t, dir, 1)
+	parDur, parHash := recoverImage(t, dir, 4)
+	if serialHash != built.Hash || parHash != built.Hash {
+		t.Fatalf("digest mismatch: built %s, serial replay %s, parallel replay %s",
+			built.Hash, serialHash, parHash)
+	}
+	if raceEnabled {
+		t.Skip("wall-clock gate skipped under -race")
+	}
+	if ncpu := runtime.GOMAXPROCS(0); ncpu < 4 {
+		t.Skipf("wall-clock gate needs >=4 CPUs, have %d", ncpu)
+	}
+	// Best of three trials per side to damp scheduler and page-cache noise.
+	for trial := 0; trial < 2; trial++ {
+		if d, _ := recoverImage(t, dir, 1); d < serialDur {
+			serialDur = d
+		}
+		if d, _ := recoverImage(t, dir, 4); d < parDur {
+			parDur = d
+		}
+	}
+	speedup := float64(serialDur) / float64(parDur)
+	t.Logf("serial replay %v, parallel(4 workers) %v, speedup %.2fx", serialDur, parDur, speedup)
+	if speedup < 2.0 {
+		t.Fatalf("recovery speedup %.2fx at 4 workers, want >= 2x (serial %v, parallel %v)",
+			speedup, serialDur, parDur)
+	}
+}
+
+// TestRecoverySerialParallelEquivalence replays one crash image — with a
+// torn record tail, as a real crash leaves — serially and in parallel,
+// and requires the byte-identical digest plus a green full verification
+// from both.
+func TestRecoverySerialParallelEquivalence(t *testing.T) {
+	const rows = 10_000
+	dir := t.TempDir()
+	built := buildRecoveryImage(t, dir, rows)
+	// Simulate a crash mid-append: a partial record header at the tail.
+	wal := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for _, workers := range []int{1, 4} {
+		var tick atomic.Int64
+		tick.Store(1_800_000_000_000_000_000)
+		db, err := sqlledger.Open(sqlledger.Options{
+			Dir: dir, Name: "ingest",
+			BlockSize:       sqlledger.DefaultBlockSize,
+			LockTimeout:     5 * time.Second,
+			RecoveryWorkers: workers,
+			Clock:           func() int64 { return tick.Add(1) },
+		})
+		if err != nil {
+			t.Fatalf("recover with %d workers: %v", workers, err)
+		}
+		d, err := db.GenerateDigest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Hash != built.Hash {
+			t.Fatalf("workers=%d digest %s, want %s", workers, d.Hash, built.Hash)
+		}
+		rep, err := db.Verify([]sqlledger.Digest{d}, sqlledger.VerifyOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("workers=%d verification failed: %+v", workers, rep)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
